@@ -1,0 +1,65 @@
+"""Ablation: asynchronous iteration vs alternative concurrency designs.
+
+Paper Section 4.2 / Example 1: a thread-per-tuple parallel dependent join
+achieves concurrency *within* one join but blocks between joins; a
+parallel DBMS is heavyweight.  Expected shape on the two-join Template-3
+workload: sequential ~ 74 network waits, thread-per-join ~ 2 waits (one
+per join stage), asynchronous iteration ~ 1 wait.
+"""
+
+import pytest
+
+from repro.bench.alternatives import (
+    run_async_iteration,
+    run_sequential,
+    run_thread_per_join,
+)
+from repro.bench.workloads import bench_engine
+from repro.datasets import SIGS
+
+TERMS = [s.name for s in SIGS]
+CONSTANT = "politics"
+
+
+def clients_of(engine):
+    return [engine.clients[name] for name in sorted(engine.clients)]
+
+
+def test_alternative_sequential(benchmark):
+    def run():
+        return run_sequential(clients_of(bench_engine()), TERMS, CONSTANT)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 2 * len(TERMS)
+
+
+def test_alternative_thread_per_join(benchmark):
+    def run():
+        return run_thread_per_join(clients_of(bench_engine()), TERMS, CONSTANT)
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(results) == 2 * len(TERMS)
+
+
+def test_alternative_async_iteration(benchmark):
+    def run():
+        return run_async_iteration(bench_engine(), CONSTANT)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.columns == ["Name", "URL", "URL"]
+
+
+@pytest.mark.parametrize("degree", [4, 16, 37], ids=lambda d: "degree={}".format(d))
+def test_alternative_parallel_dbms(benchmark, degree):
+    """Gamma-style partitioned parallelism (the paper's future-work
+    comparison): better than sequential, but pays thread startup and
+    still blocks per call within each worker."""
+    from repro.bench.paralleldb import run_parallel_dbms
+
+    def run():
+        engine = bench_engine()
+        clients = clients_of(engine)
+        return run_parallel_dbms(clients, TERMS, CONSTANT, degree=degree)
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(results) == 2 * len(TERMS)

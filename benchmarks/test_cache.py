@@ -1,0 +1,53 @@
+"""Ablation: result caching ([HN96], paper Sections 2 and 4.5.4).
+
+The paper's Figure-7 plan sends |R| identical calls per Sig to the second
+engine, and notes "incorporating a local cache of search engine results
+is very important for such a plan".  This ablation runs that plan shape
+with and without the cache, in both execution modes.
+
+Expected shape: the cache collapses sync time by ~|R|; under async the
+duplicate calls are already concurrent so the wall-clock win is smaller,
+but the request count drops the same way.
+"""
+
+import pytest
+
+from repro.bench.placement import measure_figure7
+from repro.bench.workloads import bench_engine
+from repro.web.cache import ResultCache
+
+R_SIZE = 6
+
+SQL_REPEATED = (
+    "Select Name, Count From Sigs, WebCount Where Name = T1 and T2 = 'computer'"
+)
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["nocache", "cache"])
+def test_figure7_plan_async(benchmark, cached):
+    """The duplicate-call Figure 7(a) plan, async, cache on/off."""
+
+    def run():
+        cache = ResultCache() if cached else None
+        engine = bench_engine(cache=cache)
+        elapsed, rows, _ = measure_figure7(engine, "a", R_SIZE)
+        return rows, engine
+
+    rows, engine = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(rows) == 37 * R_SIZE
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["nocache", "cache"])
+def test_repeated_query_sync(benchmark, cached):
+    """Re-running an identical query: cache eliminates all network time."""
+    cache = ResultCache() if cached else None
+    engine = bench_engine(cache=cache)
+    engine.execute(SQL_REPEATED, mode="sync")  # warm (outside timing)
+
+    def run():
+        return engine.execute(SQL_REPEATED, mode="sync")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result) == 37
+    if cached:
+        assert cache.hits >= 37

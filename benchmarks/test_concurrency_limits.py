@@ -1,0 +1,34 @@
+"""Ablation: ReqPump concurrency limits (paper Section 4.1, resource control).
+
+The paper adds per-destination and global counters so an administrator
+can cap outstanding requests.  This sweep runs the 37-call Sigs/Knuth
+query under different global caps: expected wall-clock is roughly
+``ceil(37/limit) * latency``, converging to a single latency at 37+.
+"""
+
+import pytest
+
+from repro.asynciter.pump import PumpLimits, RequestPump
+from repro.bench.workloads import bench_engine
+
+SQL = "Select Name, Count From Sigs, WebCount Where Name = T1 and T2 = 'Knuth'"
+
+LIMITS = [1, 2, 4, 8, 16, 37, None]
+
+
+@pytest.mark.parametrize("limit", LIMITS, ids=lambda l: "limit={}".format(l))
+def test_concurrency_limit_sweep(benchmark, limit):
+    def run():
+        pump = RequestPump(limits=PumpLimits(max_total=limit))
+        try:
+            engine = bench_engine(pump=pump)
+            result = engine.execute(SQL, mode="async")
+            return pump.stats.snapshot(), result
+        finally:
+            pump.shutdown()
+
+    stats, result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result) == 37
+    if limit is not None:
+        assert stats["max_in_flight"] <= limit
+    benchmark.extra_info["max_in_flight"] = stats["max_in_flight"]

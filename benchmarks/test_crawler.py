@@ -1,0 +1,53 @@
+"""The Section 4.2 crawler scenario: URL-table fan-out via WebFetch/WebLinks.
+
+One query fetches a frontier of URLs; asynchronous iteration overlaps all
+the per-host round trips ("WSQ can exploit all available resources
+without burdening any external sources" — every URL is its own
+destination).
+"""
+
+import pytest
+
+from repro.bench.workloads import bench_engine
+from repro.relational.types import DataType
+from repro.web.world import default_web
+
+FRONTIER_SIZE = 40
+
+
+def make_engine_with_frontier():
+    engine = bench_engine()
+    urls = [d.url for d in default_web().corpus.documents[:FRONTIER_SIZE]]
+    engine.database.create_table_from_rows(
+        "Frontier", [("PageUrl", DataType.STR)], [(u,) for u in urls]
+    )
+    return engine
+
+
+SQL_FETCH = (
+    "Select PageUrl, Status, Bytes From Frontier, WebFetch Where PageUrl = Url"
+)
+SQL_LINKS = (
+    "Select PageUrl, LinkUrl From Frontier, WebLinks Where PageUrl = Url"
+)
+
+
+@pytest.mark.parametrize("mode", ["sync", "async"])
+def test_crawler_fetch_round(benchmark, mode):
+    engine = make_engine_with_frontier()
+
+    def run():
+        return engine.execute(SQL_FETCH, mode=mode)
+
+    result = benchmark.pedantic(run, rounds=1 if mode == "sync" else 2, iterations=1)
+    assert len(result) == FRONTIER_SIZE
+
+
+def test_crawler_link_expansion_async(benchmark):
+    engine = make_engine_with_frontier()
+
+    def run():
+        return engine.execute(SQL_LINKS, mode="async")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result) > 0

@@ -1,0 +1,34 @@
+"""Ablation: in-flight call deduplication ([CDY95] call minimization).
+
+The Figure-7 plan shape sends |R| identical Google searches per Sig.  A
+result cache cannot absorb duplicates that are launched concurrently
+(none has completed when the next registers); in-flight deduplication in
+the AsyncContext can.  Expected shape: identical results, ~|R|x fewer
+Google requests, and a wall-clock win that grows with per-call overhead.
+"""
+
+import pytest
+
+from repro.bench.placement import build_figure7_plan
+from repro.bench.workloads import bench_engine
+from repro.exec import collect
+
+R_SIZE = 8
+
+
+@pytest.mark.parametrize("dedup", [False, True], ids=["duplicates", "dedup"])
+def test_figure7_duplicate_calls(benchmark, dedup):
+    issued = {}
+
+    def run():
+        engine = bench_engine()
+        plan, _ = build_figure7_plan(engine, "a", R_SIZE, dedup=dedup)
+        rows = collect(plan)
+        issued["requests"] = sum(c.requests_sent for c in engine.clients.values())
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(rows) == 37 * R_SIZE
+    expected = 37 + 37 if dedup else 37 + 37 * R_SIZE
+    assert issued["requests"] == expected
+    benchmark.extra_info["requests"] = issued["requests"]

@@ -1,0 +1,106 @@
+"""Micro-benchmarks for the substrates (no simulated latency).
+
+These are conventional pytest-benchmark loops: storage-engine throughput,
+SQL parsing, planning, local-only execution, and raw index/search costs.
+They bound how much of a WSQ query's time is *not* network — the paper's
+premise is that search latency dominates everything below.
+"""
+
+import pytest
+
+from repro.bench.workloads import bench_engine
+from repro.datasets import load_states_table
+from repro.relational.types import DataType
+from repro.sql.parser import parse_select
+from repro.storage import Database
+from repro.web.world import default_web
+
+Q6 = (
+    "Select Name, AV.URL From States, WebPages_AV AV, WebPages_Google G "
+    "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 5 and G.Rank <= 5 "
+    "and AV.URL = G.URL"
+)
+
+
+def test_storage_insert_1k_rows(benchmark):
+    def run():
+        db = Database()
+        table = db.create_table(
+            "T", [("Name", DataType.STR), ("N", DataType.INT)]
+        )
+        table.insert_many([("row-{}".format(i), i) for i in range(1000)])
+        return table
+
+    table = benchmark(run)
+    assert table.row_count() == 1000
+
+
+def test_storage_scan_5k_rows(benchmark):
+    db = Database()
+    table = db.create_table("T", [("Name", DataType.STR), ("N", DataType.INT)])
+    table.insert_many([("row-{}".format(i), i) for i in range(5000)])
+
+    def run():
+        return sum(1 for _ in table.scan())
+
+    assert benchmark(run) == 5000
+
+
+def test_sql_parse(benchmark):
+    tree = benchmark(parse_select, Q6)
+    assert len(tree.from_tables) == 3
+
+
+def test_plan_generation_async(benchmark, warm_web):
+    engine = bench_engine(latency=None)
+    plan = benchmark(engine.plan, Q6, "async")
+    assert "ReqSync" in plan.explain()
+
+
+def test_local_join_execution(benchmark):
+    """Pure local processing: States self-join on capital initials."""
+    db = Database()
+    load_states_table(db)
+    engine = bench_engine(latency=None)
+    engine.database = db
+    from repro.plan.planner import Planner
+
+    engine._planner = Planner(db, engine.vtables)
+    sql = "Select Count(*) From States A, States B Where A.Capital = B.Capital"
+
+    def run():
+        return engine.execute(sql, mode="sync")
+
+    result = benchmark(run)
+    assert result.rows == [(50,)]
+
+
+def test_index_count_query(benchmark, warm_web):
+    index = warm_web.corpus.index
+    from repro.web.searchexpr import parse_search_expression
+
+    expr = parse_search_expression('"Colorado" near "four corners"')
+
+    def run():
+        return index.count(expr)
+
+    assert benchmark(run) == 109
+
+
+def test_engine_ranked_search(benchmark, warm_web):
+    engine = warm_web.engine("AV")
+
+    def run():
+        return engine.search('"California"', 10)
+
+    assert len(benchmark(run)) == 10
+
+
+def test_corpus_build_small(benchmark):
+    from repro.web.corpus import CorpusConfig, build_corpus
+
+    def run():
+        return build_corpus(CorpusConfig.small())
+
+    corpus = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(corpus) > 100

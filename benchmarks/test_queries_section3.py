@@ -1,0 +1,63 @@
+"""The paper's Section 3.1 example queries (plus the Knuth footnote).
+
+One benchmark per query, run with asynchronous iteration under bench
+latency, plus a synchronous baseline for Query 1 so the table shows the
+gap on a real example query (not just the Table-1 templates).
+"""
+
+import pytest
+
+from repro.bench.workloads import bench_engine
+
+QUERIES = {
+    "q1_rank_states": (
+        "Select Name, Count From States, WebCount Where Name = T1 "
+        "Order By Count Desc"
+    ),
+    "q2_per_capita": (
+        "Select Name, Count/Population As C From States, WebCount "
+        "Where Name = T1 Order By C Desc"
+    ),
+    "q3_four_corners": (
+        "Select Name, Count From States, WebCount "
+        "Where Name = T1 and T2 = 'four corners' Order By Count Desc"
+    ),
+    "q4_capitals": (
+        "Select Capital, C.Count, Name, S.Count From States, WebCount C, "
+        "WebCount S Where Capital = C.T1 and Name = S.T1 and C.Count > S.Count"
+    ),
+    "q5_top_urls": (
+        "Select Name, URL, Rank From States, WebPages "
+        "Where Name = T1 and Rank <= 2 Order By Name, Rank"
+    ),
+    "q6_engine_agreement": (
+        "Select Name, AV.URL From States, WebPages_AV AV, WebPages_Google G "
+        "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 5 and G.Rank <= 5 "
+        "and AV.URL = G.URL"
+    ),
+    "knuth_sigs": (
+        "Select Name, Count From Sigs, WebCount "
+        "Where Name = T1 and T2 = 'Knuth' Order By Count Desc"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_section3_query_async(benchmark, name):
+    sql = QUERIES[name]
+
+    def run():
+        return bench_engine().execute(sql, mode="async")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_section3_query1_sync_baseline(benchmark):
+    sql = QUERIES["q1_rank_states"]
+
+    def run():
+        return bench_engine().execute(sql, mode="sync")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.rows[0][0] == "California"

@@ -1,0 +1,40 @@
+"""DSQ: Database-Supported Web Queries — the "scuba diving" scenario.
+
+From the paper's introduction: "When a DSQ user searches for the keyword
+phrase 'scuba diving', DSQ uses the Web to correlate that phrase with
+terms in the known database ... and might even find state/movie/scuba-
+diving triples (e.g., an underwater thriller filmed in Florida)."
+
+This example registers the States and Movies tables as DSQ term domains,
+explains the phrase, and prints the correlations and discovered triples.
+Every correlation is itself a WSQ query, so the dozens of Web searches per
+domain run concurrently.
+
+Run:  python examples/dsq_scuba.py
+"""
+
+from repro.datasets import load_all
+from repro.dsq import DsqSession
+from repro.storage import Database
+from repro.web.latency import UniformLatency
+from repro.wsq import WsqEngine
+
+
+def main():
+    engine = WsqEngine(
+        database=load_all(Database()), latency=UniformLatency(0.01, 0.03)
+    )
+    session = DsqSession(engine)
+    session.register_domain("States", "Name")
+    session.register_domain("Movies", "Title")
+
+    for phrase in ("scuba diving", "four corners", "Knuth"):
+        report = session.explain(
+            phrase, triple_domains=["Movies.Title", "States.Name"], top_k=4
+        )
+        print(report.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Reproduce the paper's Table 1 (Section 5) at demo scale.
+
+Runs the three query templates, sync vs async, and prints the reproduced
+table next to the paper's published numbers.  Absolute times differ (our
+simulated latency is scaled down from ~1s to tens of milliseconds so the
+demo finishes quickly); the improvement *factors* are the reproduction
+target — the paper's headline is "a factor of 10 or more".
+
+Run:  python examples/table1_demo.py            (quick: 4 instances, 1 run)
+      python examples/table1_demo.py --full     (the paper's 8 x 2 layout)
+"""
+
+import argparse
+
+from repro.bench.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--full", action="store_true", help="8 instances x 2 runs, as in the paper"
+    )
+    parser.add_argument(
+        "--latency",
+        type=float,
+        default=30.0,
+        help="mean simulated search latency in ms (default 30)",
+    )
+    args = parser.parse_args()
+
+    instances, runs = (8, 2) if args.full else (4, 1)
+    mean = args.latency / 1000.0
+    rows = run_table1(
+        instances=instances, runs=runs, latency=(mean * 0.5, mean * 1.5)
+    )
+    print(
+        "Table 1 reproduction ({} instances x {} runs, ~{:.0f}ms simulated "
+        "latency)\n".format(instances, runs, args.latency)
+    )
+    print(format_table1(rows, paper=PAPER_TABLE1))
+    print(
+        "\n(paper rows are the published means at real-Web ~1s latency; "
+        "compare the Improvement columns)"
+    )
+
+
+if __name__ == "__main__":
+    main()

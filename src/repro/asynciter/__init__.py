@@ -1,0 +1,38 @@
+"""Asynchronous iteration (paper Section 4).
+
+The technique has three runtime components plus a plan rewriter:
+
+- :class:`~repro.asynciter.pump.RequestPump` — the global "ReqPump": an
+  event-driven module (one asyncio loop on one daemon thread — the paper
+  cites the Flash web server's single-process event loop as the model)
+  that issues many concurrent external calls, stores results keyed by call
+  id, enforces global and per-destination concurrency limits, and queues
+  excess calls.
+- :class:`~repro.asynciter.context.AsyncContext` — per-query view of the
+  pump: the "ReqPumpHash" result store plus the producer/consumer
+  signalling between pump and ReqSync operators.
+- :class:`~repro.asynciter.aevscan.AEVScan` — asynchronous EVScan: it
+  registers a call and immediately returns one optimistic tuple whose
+  unknown attributes are placeholders.
+- :class:`~repro.asynciter.reqsync.ReqSync` — buffers incomplete tuples
+  and patches, cancels (0 result rows), or proliferates (n > 1 rows) them
+  as calls complete.
+- :mod:`repro.asynciter.rewrite` — the Insertion / Percolation /
+  Consolidation placement algorithm of Section 4.5.
+"""
+
+from repro.asynciter.aevscan import AEVScan
+from repro.asynciter.context import AsyncContext
+from repro.asynciter.pump import PumpLimits, RequestPump, default_pump
+from repro.asynciter.reqsync import ReqSync
+from repro.asynciter.rewrite import apply_asynchronous_iteration
+
+__all__ = [
+    "AEVScan",
+    "AsyncContext",
+    "PumpLimits",
+    "ReqSync",
+    "RequestPump",
+    "apply_asynchronous_iteration",
+    "default_pump",
+]

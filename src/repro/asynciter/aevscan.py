@@ -1,0 +1,46 @@
+"""AEVScan: the asynchronous external virtual-table scan.
+
+"As soon as AEVScan registers its call with ReqPump, it returns ... one
+tuple T where the [output] attribute contains as a placeholder the call
+identifier C."  The dependent join above combines that optimistic tuple
+with the outer tuple and keeps iterating — never blocking on the network.
+"""
+
+from repro.exec.operator import Operator
+from repro.util.errors import ExecutionError
+
+
+class AEVScan(Operator):
+    """Asynchronous counterpart of :class:`~repro.vtables.evscan.EVScan`."""
+
+    def __init__(self, instance, context):
+        self.instance = instance
+        self.context = context
+        self.schema = instance.schema
+        self.children = ()
+        self._row = None
+        self._emitted = True
+        self.calls_registered = 0
+
+    def open(self, bindings=None):
+        resolved = self.instance.resolve_bindings(bindings)
+        call = self.instance.make_call(resolved)
+        call_id = self.context.register(call)
+        self.calls_registered += 1
+        self._row = self.instance.placeholder_row(resolved, call_id)
+        self._emitted = False
+
+    def next(self):
+        if self._row is None and self._emitted:
+            raise ExecutionError("AEVScan.next() before open()")
+        if self._emitted:
+            return None
+        self._emitted = True
+        return self._row
+
+    def close(self):
+        self._row = None
+        self._emitted = True
+
+    def label(self):
+        return "AEVScan: {}".format(self.instance.describe())

@@ -1,0 +1,136 @@
+"""AsyncContext: the per-query ReqPumpHash plus consumer signalling.
+
+The paper stores each completed call's data "in a hash table ReqPumpHash,
+keyed on C", and has ReqPump signal the consuming ReqSync.  AsyncContext
+is that pair: a results dict filled from the pump thread, and a condition
+variable the query thread waits on.  One context serves a whole query, so
+a plan with several ReqSync operators (Figure 7(b)) shares it.
+
+In-flight deduplication (``dedup=True``, the default) extends this with
+the call-minimization idea of Chaudhuri/Dayal/Yan [CDY95]: when the same
+query registers two identical external calls — e.g. the paper's Figure 7
+plan sends |R| identical searches per Sig — the second registration
+reuses the first call id instead of hitting the network again.  A result
+cache cannot catch these (the first call has not completed when the
+duplicates arrive); deduplication here is what removes them.  Results are
+lease-counted so every registrant can consume them.
+"""
+
+import threading
+
+from repro.util.errors import ExecutionError
+
+
+class AsyncContext:
+    """Result store + producer/consumer synchronization for one query."""
+
+    def __init__(self, pump, dedup=True):
+        self.pump = pump
+        self.dedup = dedup
+        self._cond = threading.Condition()
+        self._results = {}  # call_id -> list of result-field dicts
+        self._errors = {}  # call_id -> Exception
+        self._by_key = {}  # call.key -> call_id (for dedup)
+        self._key_of = {}  # call_id -> call.key
+        self._leases = {}  # call_id -> outstanding take_result count
+        self.dedup_hits = 0
+        self.calls_registered = 0
+
+    # -- producer side (pump thread) --------------------------------------------
+
+    def register(self, call):
+        """Launch *call* through the pump (or reuse an identical in-flight
+        call when deduplication applies); returns the call id."""
+        if self.dedup and call.key is not None:
+            existing = self._by_key.get(call.key)
+            if existing is not None:
+                with self._cond:
+                    self._leases[existing] += 1
+                self.dedup_hits += 1
+                return existing
+        call_id = self.pump.register(call, self._on_complete)
+        self.calls_registered += 1
+        with self._cond:
+            self._leases[call_id] = 1
+        if self.dedup and call.key is not None:
+            self._by_key[call.key] = call_id
+            self._key_of[call_id] = call.key
+        return call_id
+
+    def _on_complete(self, call_id, rows, error):
+        with self._cond:
+            if error is not None:
+                self._errors[call_id] = error
+            else:
+                self._results[call_id] = rows
+            self._cond.notify_all()
+
+    # -- consumer side (query thread) ----------------------------------------------
+
+    def completed(self, call_ids):
+        """Subset of *call_ids* whose results (or errors) have arrived."""
+        with self._cond:
+            return {
+                cid
+                for cid in call_ids
+                if cid in self._results or cid in self._errors
+            }
+
+    def wait_for_any(self, call_ids, timeout=None):
+        """Block until at least one of *call_ids* completes; return those.
+
+        Raises :class:`ExecutionError` on timeout — a safety valve so a
+        lost signal can never hang a query forever.
+        """
+        deadline_error = (
+            "timed out after {}s waiting for external calls {}".format(
+                timeout, sorted(call_ids)
+            )
+        )
+        with self._cond:
+            while True:
+                done = {
+                    cid
+                    for cid in call_ids
+                    if cid in self._results or cid in self._errors
+                }
+                if done:
+                    return done
+                if not self._cond.wait(timeout=timeout):
+                    raise ExecutionError(deadline_error)
+
+    def take_result(self, call_id):
+        """Consume one lease on *call_id*'s rows (raises its error if any).
+
+        The rows are freed once every registrant of a deduplicated call
+        has taken them.
+        """
+        with self._cond:
+            if call_id in self._errors:
+                raise ExecutionError(
+                    "external call {} failed: {}".format(call_id, self._errors[call_id])
+                ) from self._errors[call_id]
+            if call_id not in self._results:
+                raise ExecutionError(
+                    "result for call {} not available yet".format(call_id)
+                )
+            rows = self._results[call_id]
+            self._leases[call_id] = self._leases.get(call_id, 1) - 1
+            if self._leases[call_id] <= 0:
+                del self._results[call_id]
+                del self._leases[call_id]
+                key = self._key_of.pop(call_id, None)
+                if key is not None and self._by_key.get(key) == call_id:
+                    del self._by_key[key]
+            return rows
+
+    def cancel(self, call_ids):
+        """Best-effort cancellation (used when a plan closes early)."""
+        for cid in call_ids:
+            self.pump.cancel(cid)
+
+    def stats(self):
+        return {
+            "calls_registered": self.calls_registered,
+            "dedup_hits": self.dedup_hits,
+        }

@@ -1,0 +1,226 @@
+"""ReqPump: the global asynchronous request module (paper Section 4.1).
+
+One daemon thread runs an asyncio event loop; every registered external
+call becomes a task on that loop.  This is deliberately *not* parallel
+query processing: like the event-driven web servers the paper points to,
+a single process multiplexes many in-flight network waits.
+
+Resource control (the paper's "monitoring and controlling resource usage")
+is two layers of counting semaphores: one global, one per destination.
+"When a call is registered with ReqPump but cannot be executed because of
+resource limits, the call is placed on a queue" — the semaphore wait queue
+plays that role, and the statistics expose how much queueing happened.
+"""
+
+import asyncio
+import threading
+
+from repro.util.errors import ExecutionError
+
+
+class PumpLimits:
+    """Concurrency limits: total in-flight calls and per-destination caps.
+
+    ``None`` means unbounded.  ``per_destination`` maps a destination name
+    to its cap; ``destination_default`` applies to unlisted destinations.
+    """
+
+    def __init__(self, max_total=None, per_destination=None, destination_default=None):
+        self.max_total = max_total
+        self.per_destination = dict(per_destination or {})
+        self.destination_default = destination_default
+
+    def limit_for(self, destination):
+        return self.per_destination.get(destination, self.destination_default)
+
+
+class _PumpStats:
+    def __init__(self):
+        self.registered = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.lock = threading.Lock()
+
+    def snapshot(self):
+        with self.lock:
+            settled = self.completed + self.failed + self.cancelled
+            return {
+                "registered": self.registered,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "in_flight": self.in_flight,
+                "max_in_flight": self.max_in_flight,
+                # Registered but neither executing nor settled: the
+                # paper's "placed on a queue" calls awaiting a limit slot.
+                "queued": max(0, self.registered - settled - self.in_flight),
+            }
+
+
+class RequestPump:
+    """Issues external calls concurrently on a background event loop."""
+
+    def __init__(self, limits=None, name="reqpump"):
+        self.limits = limits or PumpLimits()
+        self.name = name
+        self.stats = _PumpStats()
+        self._lock = threading.Lock()
+        self._loop = None
+        self._thread = None
+        self._next_call_id = 0
+        self._futures = {}  # call_id -> concurrent.futures.Future
+        self._global_sem = None
+        self._dest_sems = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def ensure_started(self):
+        with self._lock:
+            if self._loop is not None:
+                return
+            started = threading.Event()
+
+            def run():
+                loop = asyncio.new_event_loop()
+                asyncio.set_event_loop(loop)
+                self._loop = loop
+                started.set()
+                loop.run_forever()
+                # Drain callbacks scheduled during shutdown.
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+            self._thread = threading.Thread(
+                target=run, name=self.name, daemon=True
+            )
+            self._thread.start()
+            started.wait()
+
+    def shutdown(self):
+        """Stop the loop thread.  Pending calls are cancelled."""
+        with self._lock:
+            loop, thread = self._loop, self._thread
+            self._loop = None
+            self._thread = None
+            self._global_sem = None
+            self._dest_sems = {}
+        if loop is None:
+            return
+
+        def stop():
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.call_soon(loop.stop)
+
+        loop.call_soon_threadsafe(stop)
+        thread.join(timeout=5)
+
+    # -- registration ---------------------------------------------------------------
+
+    def register(self, call, on_complete):
+        """Launch *call* asynchronously; returns its call id.
+
+        ``on_complete(call_id, rows, error)`` fires on the pump thread when
+        the call finishes (exactly one of *rows*/*error* is not None).
+        """
+        self.ensure_started()
+        with self._lock:
+            if self._loop is None:
+                raise ExecutionError("request pump is shut down")
+            call_id = self._next_call_id
+            self._next_call_id += 1
+            loop = self._loop
+        with self.stats.lock:
+            self.stats.registered += 1
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_call(call_id, call, on_complete), loop
+        )
+        self._futures[call_id] = future
+        return call_id
+
+    def cancel(self, call_id):
+        """Best-effort cancellation of one registered call."""
+        future = self._futures.get(call_id)
+        if future is not None and future.cancel():
+            with self.stats.lock:
+                self.stats.cancelled += 1
+
+    async def _run_call(self, call_id, call, on_complete):
+        global_sem = self._semaphore()
+        dest_sem = self._dest_semaphore(call.destination)
+        try:
+            async with _maybe(global_sem):
+                async with _maybe(dest_sem):
+                    with self.stats.lock:
+                        self.stats.in_flight += 1
+                        self.stats.max_in_flight = max(
+                            self.stats.max_in_flight, self.stats.in_flight
+                        )
+                    try:
+                        rows = await call.execute_async()
+                    finally:
+                        with self.stats.lock:
+                            self.stats.in_flight -= 1
+        except asyncio.CancelledError:
+            self._futures.pop(call_id, None)
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced to the query thread
+            with self.stats.lock:
+                self.stats.failed += 1
+            self._futures.pop(call_id, None)
+            on_complete(call_id, None, exc)
+            return
+        with self.stats.lock:
+            self.stats.completed += 1
+        self._futures.pop(call_id, None)
+        on_complete(call_id, rows, None)
+
+    # -- semaphores (created lazily on the loop thread) ---------------------------------
+
+    def _semaphore(self):
+        if self.limits.max_total is None:
+            return None
+        if self._global_sem is None:
+            self._global_sem = asyncio.Semaphore(self.limits.max_total)
+        return self._global_sem
+
+    def _dest_semaphore(self, destination):
+        limit = self.limits.limit_for(destination)
+        if limit is None:
+            return None
+        sem = self._dest_sems.get(destination)
+        if sem is None:
+            sem = asyncio.Semaphore(limit)
+            self._dest_sems[destination] = sem
+        return sem
+
+
+class _maybe:
+    """Async context manager for an optional semaphore."""
+
+    def __init__(self, semaphore):
+        self.semaphore = semaphore
+
+    async def __aenter__(self):
+        if self.semaphore is not None:
+            await self.semaphore.acquire()
+
+    async def __aexit__(self, *exc):
+        if self.semaphore is not None:
+            self.semaphore.release()
+
+
+_DEFAULT_PUMP = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_pump():
+    """The process-wide shared pump (unbounded limits)."""
+    global _DEFAULT_PUMP
+    with _DEFAULT_LOCK:
+        if _DEFAULT_PUMP is None:
+            _DEFAULT_PUMP = RequestPump(name="reqpump-default")
+        return _DEFAULT_PUMP

@@ -1,0 +1,269 @@
+"""ReqSync: the request synchronizer operator (paper Sections 4.1, 4.3, 4.4).
+
+ReqSync buffers tuples that carry placeholders and blocks its parent until
+their external calls complete.  When a call C returns:
+
+1. **no rows** — every buffered tuple referencing C is *cancelled*,
+2. **one row** — the tuple's placeholders for C are filled in,
+3. **n > 1 rows** — n-1 *copies* of the tuple are created, each patched
+   from one result row; references to *other* pending calls are copied
+   too, so a later call patches every copy (Section 4.4's nuance).
+
+Two execution modes:
+
+- full-buffering (paper default): ``open()`` drains the child entirely —
+  which is what launches every AEVScan call below — then ``next()`` emits
+  tuples as their calls complete;
+- streaming (``stream=True``; the paper flags this as an optimization
+  choice): the child is drained lazily, complete tuples "pass directly
+  through", and incomplete ones are emitted as they resolve.
+
+``preserve_order=True`` additionally emits tuples in child order (head-of-
+line blocking instead of completion order), which lets the rewriter pull a
+ReqSync above order-sensitive operators without breaking their output
+order.
+"""
+
+from collections import deque
+
+from repro.exec.operator import Operator
+from repro.relational.placeholder import Placeholder, row_pending_calls
+from repro.util.errors import ExecutionError
+
+#: Safety valve so a lost completion signal cannot hang a query forever.
+DEFAULT_WAIT_TIMEOUT = 60.0
+
+
+class _Buffered:
+    """One incomplete tuple awaiting calls in ``pending``."""
+
+    __slots__ = ("values", "pending")
+
+    def __init__(self, values, pending):
+        self.values = values
+        self.pending = pending
+
+
+class ReqSync(Operator):
+    """Patches placeholder-carrying tuples as their external calls land."""
+
+    def __init__(
+        self,
+        child,
+        context,
+        stream=False,
+        preserve_order=False,
+        wait_timeout=DEFAULT_WAIT_TIMEOUT,
+    ):
+        self.child = child
+        self.context = context
+        self.stream = stream
+        self.preserve_order = preserve_order
+        self.wait_timeout = wait_timeout
+        self.schema = child.schema
+        self.children = (child,)
+        # Buffering state (created at open()).
+        self._buffered = None  # tid -> _Buffered
+        self._by_call = None  # call_id -> set(tid)
+        self._order = None  # emission order of tids (preserve_order mode)
+        self._ready = None  # deque of completed rows (completion-order mode)
+        self._completed = None  # tid -> row (preserve_order mode)
+        self._next_tid = 0
+        self._child_done = False
+        # Statistics for the benchmarks/tests.
+        self.tuples_buffered = 0
+        self.tuples_cancelled = 0
+        self.tuples_proliferated = 0
+        self.values_patched = 0
+        #: High-watermark of simultaneously buffered incomplete tuples —
+        #: the memory figure the paper's Example 2 placement discussion
+        #: trades against concurrency.
+        self.max_buffered = 0
+
+    # -- operator lifecycle ------------------------------------------------------
+
+    def open(self, bindings=None):
+        self.child.open(bindings)
+        self._buffered = {}
+        self._by_call = {}
+        self._order = deque()
+        self._ready = deque()
+        self._completed = {}
+        self._next_tid = 0
+        self._child_done = False
+        if not self.stream:
+            # Full buffering: drain the child, which registers every
+            # external call below us with the pump in one burst.
+            while self._pull_child():
+                pass
+
+    def next(self):
+        if self._buffered is None:
+            raise ExecutionError("ReqSync.next() before open()")
+        while True:
+            row = self._emit_ready()
+            if row is not None:
+                return row
+            if self.stream and not self._child_done:
+                self._pull_child()
+                continue
+            if not self._by_call:
+                return None
+            done = self.context.wait_for_any(
+                set(self._by_call), timeout=self.wait_timeout
+            )
+            for call_id in done:
+                if call_id in self._by_call:
+                    self._apply_completion(call_id, self.context.take_result(call_id))
+
+    def close(self):
+        if self._by_call:
+            self.context.cancel(list(self._by_call))
+        self.child.close()
+        self._buffered = None
+        self._by_call = None
+        self._order = None
+        self._ready = None
+        self._completed = None
+
+    def label(self):
+        modes = []
+        if self.stream:
+            modes.append("stream")
+        if self.preserve_order:
+            modes.append("ordered")
+        suffix = " [{}]".format(", ".join(modes)) if modes else ""
+        return "ReqSync{}".format(suffix)
+
+    # -- buffering ------------------------------------------------------------------
+
+    def _pull_child(self):
+        """Admit one child row; returns False when the child is exhausted."""
+        row = self.child.next()
+        if row is None:
+            self._child_done = True
+            return False
+        self._admit(row)
+        return True
+
+    def _admit(self, row):
+        pending = row_pending_calls(row)
+        if not pending:
+            # Complete tuples pass straight through the synchronizer.
+            if self.preserve_order:
+                tid = self._allocate_tid()
+                self._order.append(tid)
+                self._completed[tid] = row
+            else:
+                self._ready.append(row)
+            return
+        tid = self._allocate_tid()
+        self.tuples_buffered += 1
+        self._buffered[tid] = _Buffered(list(row), pending)
+        self.max_buffered = max(self.max_buffered, len(self._buffered))
+        if self.preserve_order:
+            self._order.append(tid)
+        for call_id in pending:
+            self._by_call.setdefault(call_id, set()).add(tid)
+
+    def _allocate_tid(self):
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    # -- emission ----------------------------------------------------------------------
+
+    def _emit_ready(self):
+        if not self.preserve_order:
+            if self._ready:
+                return self._ready.popleft()
+            return None
+        # Ordered mode: only the head of the queue may be emitted.
+        while self._order:
+            head = self._order[0]
+            if head in self._completed:
+                self._order.popleft()
+                return self._completed.pop(head)
+            if head not in self._buffered:
+                # Cancelled tuple: skip its slot.
+                self._order.popleft()
+                continue
+            return None
+        return None
+
+    # -- patching (Sections 4.3 / 4.4) ------------------------------------------------------
+
+    def _apply_completion(self, call_id, result_rows):
+        tids = self._by_call.pop(call_id, set())
+        for tid in sorted(tids):
+            tuple_state = self._buffered.get(tid)
+            if tuple_state is None:
+                continue  # cancelled by an earlier zero-row call
+            if not result_rows:
+                self._cancel_tuple(tid, tuple_state, call_id)
+                continue
+            tuple_state.pending.discard(call_id)
+            # Extra result rows proliferate copies (case 3); references to
+            # other pending calls are copied with them.
+            for extra in result_rows[1:]:
+                copy = _Buffered(list(tuple_state.values), set(tuple_state.pending))
+                self.values_patched += _patch_values(copy.values, call_id, extra)
+                self.tuples_proliferated += 1
+                self._register_copy(tid, copy)
+            self.values_patched += _patch_values(
+                tuple_state.values, call_id, result_rows[0]
+            )
+            if not tuple_state.pending:
+                self._finish_tuple(tid, tuple_state)
+
+    def _cancel_tuple(self, tid, tuple_state, call_id):
+        self.tuples_cancelled += 1
+        del self._buffered[tid]
+        for other in tuple_state.pending:
+            if other != call_id and other in self._by_call:
+                self._by_call[other].discard(tid)
+        # In ordered mode the tid stays in self._order and is skipped at
+        # emission time (it is no longer in _buffered or _completed).
+
+    def _register_copy(self, original_tid, copy):
+        tid = self._allocate_tid()
+        self.tuples_buffered += 1
+        if copy.pending:
+            self._buffered[tid] = copy
+            for other in copy.pending:
+                self._by_call.setdefault(other, set()).add(tid)
+            if self.preserve_order:
+                self._insert_after(original_tid, tid)
+        else:
+            if self.preserve_order:
+                self._insert_after(original_tid, tid)
+                self._completed[tid] = tuple(copy.values)
+            else:
+                self._ready.append(tuple(copy.values))
+
+    def _finish_tuple(self, tid, tuple_state):
+        del self._buffered[tid]
+        row = tuple(tuple_state.values)
+        if self.preserve_order:
+            self._completed[tid] = row
+        else:
+            self._ready.append(row)
+
+    def _insert_after(self, anchor_tid, new_tid):
+        """Place a proliferated copy right after its original in the order."""
+        try:
+            position = self._order.index(anchor_tid)
+        except ValueError:
+            self._order.append(new_tid)
+            return
+        self._order.insert(position + 1, new_tid)
+
+
+def _patch_values(values, call_id, result_row):
+    """Fill call_id's placeholders from *result_row*; returns the count."""
+    patched = 0
+    for i, value in enumerate(values):
+        if isinstance(value, Placeholder) and value.call_id == call_id:
+            values[i] = result_row[value.field]
+            patched += 1
+    return patched

@@ -1,0 +1,26 @@
+"""Benchmark harness: workloads, the Table-1 driver, and alternatives.
+
+Everything here is importable library code; the ``benchmarks/`` directory
+contains thin pytest-benchmark wrappers around it, and the examples reuse
+it for demos.
+"""
+
+from repro.bench.workloads import (
+    TEMPLATE1,
+    TEMPLATE2,
+    TEMPLATE3,
+    bench_engine,
+    template_queries,
+)
+from repro.bench.table1 import Table1Row, format_table1, run_table1
+
+__all__ = [
+    "TEMPLATE1",
+    "TEMPLATE2",
+    "TEMPLATE3",
+    "Table1Row",
+    "bench_engine",
+    "format_table1",
+    "run_table1",
+    "template_queries",
+]

@@ -1,0 +1,173 @@
+"""Interactive WSQ shell.
+
+The paper mentions "a simple interface that allows users to pose limited
+queries over our WSQ implementation"; this REPL is ours::
+
+    $ wsq --load-datasets --latency 50
+    wsq> Select Name, Count From States, WebCount Where Name = T1
+         Order By Count Desc;
+
+Dot-commands: ``.help``, ``.tables``, ``.mode sync|async``,
+``.explain <query>``, ``.stats``, ``.quit``.
+"""
+
+import argparse
+import sys
+
+from repro.datasets import load_all
+from repro.storage import Database
+from repro.util.errors import ReproError
+from repro.web.cache import ResultCache
+from repro.web.latency import UniformLatency
+from repro.wsq import WsqEngine, format_table
+
+BANNER = """WSQ/DSQ reproduction shell — type .help for commands.
+Virtual tables: WebCount[_AV|_Google], WebPages[_AV|_Google], WebFetch, WebLinks
+"""
+
+HELP = """Statements end with ';'.  Dot-commands:
+  .help              this text
+  .tables            list stored tables (and indexes)
+  .mode [sync|async|auto]  show or set execution mode
+  .explain <query>   show the (rewritten) plan without running it
+  .profile <query>   run with per-operator instrumentation
+  .stats             pump / engine / cache statistics
+  .quit              exit
+"""
+
+
+def build_engine(args):
+    database = Database(args.db) if args.db else Database()
+    if args.load_datasets and not database.has_table("States"):
+        load_all(database)
+    latency = None
+    if args.latency > 0:
+        seconds = args.latency / 1000.0
+        latency = UniformLatency(seconds * 0.5, seconds * 1.5)
+    cache = ResultCache() if args.cache else None
+    return WsqEngine(database=database, latency=latency, cache=cache)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="wsq", description=__doc__)
+    parser.add_argument("--db", help="database directory (default: in-memory)")
+    parser.add_argument(
+        "--load-datasets",
+        action="store_true",
+        help="preload States/Sigs/CSFields/Movies",
+    )
+    parser.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        help="simulated search latency midpoint in milliseconds",
+    )
+    parser.add_argument(
+        "--cache", action="store_true", help="enable the search-result cache"
+    )
+    parser.add_argument(
+        "--sync", action="store_true", help="start in synchronous mode"
+    )
+    parser.add_argument(
+        "-c", "--command", help="run one statement and exit", default=None
+    )
+    args = parser.parse_args(argv)
+
+    engine = build_engine(args)
+    mode = "sync" if args.sync else "async"
+
+    if args.command is not None:
+        return _run_statement(engine, args.command, mode)
+
+    print(BANNER)
+    buffer = []
+    while True:
+        try:
+            prompt = "wsq> " if not buffer else "...> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        except KeyboardInterrupt:
+            buffer = []
+            print()
+            continue
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            mode = _dot_command(engine, stripped, mode)
+            if mode is None:
+                return 0
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(buffer)
+            buffer = []
+            _run_statement(engine, statement, mode)
+
+
+def _dot_command(engine, line, mode):
+    parts = line.split(None, 1)
+    command = parts[0].lower()
+    argument = parts[1] if len(parts) > 1 else ""
+    if command in (".quit", ".exit"):
+        return None
+    if command == ".help":
+        print(HELP)
+    elif command == ".tables":
+        for name in engine.database.table_names():
+            print(" ", name)
+        for name in engine.database.index_names():
+            print("  (index)", name)
+    elif command == ".mode":
+        if argument in ("sync", "async", "auto"):
+            mode = argument
+        print("mode:", mode)
+    elif command == ".explain":
+        if not argument:
+            print("usage: .explain <query>")
+        else:
+            try:
+                print(engine.explain(argument.rstrip(";"), mode=mode))
+            except ReproError as exc:
+                _print_error(exc)
+    elif command == ".profile":
+        if not argument:
+            print("usage: .profile <query>")
+        else:
+            try:
+                print(engine.profile(argument.rstrip(";"), mode=mode).render())
+            except ReproError as exc:
+                _print_error(exc)
+    elif command == ".stats":
+        stats = engine.stats()
+        for key, value in stats.items():
+            print("  {}: {}".format(key, value))
+    else:
+        print("unknown command {!r}; try .help".format(command))
+    return mode
+
+
+def _run_statement(engine, statement, mode):
+    statement = statement.strip().rstrip(";")
+    if not statement:
+        return 0
+    try:
+        result = engine.run(statement, mode=mode)
+    except ReproError as exc:
+        _print_error(exc)
+        return 1
+    print(format_table(result, max_rows=40))
+    if result.elapsed is not None:
+        print(
+            "{} rows in {:.3f}s ({} mode)".format(len(result), result.elapsed, mode)
+        )
+    return 0
+
+
+def _print_error(exc):
+    diagnostic = getattr(exc, "diagnostic", None)
+    print("error:", diagnostic() if callable(diagnostic) else exc, file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Embedded datasets used by the paper's examples and evaluation.
+
+- :mod:`repro.datasets.states` — the 50 U.S. states with 1998 Census
+  population estimates (in thousands, matching the paper's Query 2 ratios)
+  and state capitals.
+- :mod:`repro.datasets.sigs` — the 37 ACM Special Interest Groups of 1999.
+- :mod:`repro.datasets.csfields` — computer-science fields (Section 4.5,
+  Example 3).
+- :mod:`repro.datasets.movies` — a movie relation for the DSQ scenario.
+- :mod:`repro.datasets.loaders` — helpers that create the corresponding
+  stored tables in a :class:`~repro.storage.database.Database`.
+"""
+
+from repro.datasets.csfields import CS_FIELDS
+from repro.datasets.loaders import (
+    load_all,
+    load_csfields_table,
+    load_movies_table,
+    load_sigs_table,
+    load_states_table,
+)
+from repro.datasets.movies import MOVIES
+from repro.datasets.sigs import SIGS
+from repro.datasets.states import STATES, StateRecord
+
+__all__ = [
+    "CS_FIELDS",
+    "MOVIES",
+    "SIGS",
+    "STATES",
+    "StateRecord",
+    "load_all",
+    "load_csfields_table",
+    "load_movies_table",
+    "load_sigs_table",
+    "load_states_table",
+]

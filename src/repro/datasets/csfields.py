@@ -1,0 +1,28 @@
+"""Computer-science fields (paper Section 4.5, Example 3).
+
+``web_weight`` is the page-count calibration target; ``sig_affinity`` maps a
+field to the SIG whose pages it tends to share, which is what lets the
+Example-3 query (URLs in the top 5 for both a Sig *and* a CS field) return
+a small non-empty answer.
+"""
+
+from collections import namedtuple
+
+FieldRecord = namedtuple("FieldRecord", ["name", "web_weight", "sig_affinity", "affinity_weight"])
+
+CS_FIELDS = [
+    FieldRecord("databases", 90, "SIGMOD", 12),
+    FieldRecord("operating systems", 75, "SIGOPS", 10),
+    FieldRecord("artificial intelligence", 85, "SIGART", 8),
+    FieldRecord("networking", 70, "SIGCOMM", 10),
+    FieldRecord("graphics", 80, "SIGGRAPH", 12),
+    FieldRecord("algorithms", 65, "SIGACT", 10),
+    FieldRecord("compilers", 45, "SIGPLAN", 10),
+    FieldRecord("architecture", 55, "SIGARCH", 8),
+    FieldRecord("security", 50, "SIGSAC", 6),
+    FieldRecord("robotics", 40, None, 0),
+    FieldRecord("machine learning", 60, "SIGART", 4),
+    FieldRecord("human computer interaction", 35, "SIGCHI", 8),
+]
+
+CS_FIELD_NAMES = [f.name for f in CS_FIELDS]

@@ -1,0 +1,39 @@
+"""A movie relation for the DSQ scenario (paper Section 1).
+
+The paper's DSQ example correlates the phrase "scuba diving" with states
+and movies, and hopes to surface a state/movie/phrase triple ("an
+underwater thriller filmed in Florida").  ``scuba_weight`` calibrates how
+many synthetic pages mention the movie near "scuba diving";
+``state_affinity`` is the filming state used for triple pages.
+"""
+
+from collections import namedtuple
+
+MovieRecord = namedtuple(
+    "MovieRecord", ["title", "web_weight", "scuba_weight", "state_affinity"]
+)
+
+MOVIES = [
+    MovieRecord("Deep Blue Reef", 45, 25, "Florida"),  # the underwater thriller
+    MovieRecord("The Abyss", 70, 20, "California"),
+    MovieRecord("Jaws", 95, 15, "Massachusetts"),
+    MovieRecord("Titanic", 120, 8, "California"),
+    MovieRecord("Waterworld", 50, 6, "Hawaii"),
+    MovieRecord("Fargo", 60, 0, "North Dakota"),
+    MovieRecord("Twister", 55, 0, "Oklahoma"),
+    MovieRecord("Casablanca", 80, 0, None),
+    MovieRecord("Vertigo", 45, 0, "California"),
+    MovieRecord("Psycho", 50, 0, "California"),
+    MovieRecord("Rocky", 65, 0, "Pennsylvania"),
+    MovieRecord("Goodfellas", 40, 0, "New York"),
+    MovieRecord("Heat", 35, 0, "California"),
+    MovieRecord("Seven", 30, 0, None),
+    MovieRecord("Alien", 75, 0, None),
+    MovieRecord("Aliens", 55, 0, None),
+    MovieRecord("The Shining", 45, 0, "Colorado"),
+    MovieRecord("Dances With Wolves", 35, 0, "South Dakota"),
+    MovieRecord("Forrest Gump", 70, 0, "Georgia"),
+    MovieRecord("The Firm", 30, 0, "Tennessee"),
+]
+
+MOVIE_TITLES = [m.title for m in MOVIES]

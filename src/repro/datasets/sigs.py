@@ -1,0 +1,63 @@
+"""The 37 ACM Special Interest Groups, circa 1999 (paper Section 4.1).
+
+``web_weight`` is the corpus calibration target: the number of synthetic
+pages mentioning the SIG (used directly, unscaled).  Every SIG gets at least
+a handful of pages because the paper notes "all Sigs are mentioned on at
+least 3 Web pages", which makes its Figure-4 example produce 111 tuples.
+
+``knuth_weight`` is the number of pages mentioning the SIG *near* the
+keyword "Knuth"; the paper's footnote 3 gives the resulting order —
+SIGACT, SIGPLAN, SIGGRAPH, SIGMOD, SIGCOMM, SIGSAM, everything else 0 —
+which these targets reproduce exactly.
+"""
+
+from collections import namedtuple
+
+SigRecord = namedtuple("SigRecord", ["name", "web_weight", "knuth_weight"])
+
+SIGS = [
+    SigRecord("SIGACT", 35, 30),
+    SigRecord("SIGAda", 18, 0),
+    SigRecord("SIGAPL", 12, 0),
+    SigRecord("SIGAPP", 15, 0),
+    SigRecord("SIGARCH", 40, 0),
+    SigRecord("SIGART", 30, 0),
+    SigRecord("SIGBIO", 10, 0),
+    SigRecord("SIGCAPH", 6, 0),
+    SigRecord("SIGCAS", 8, 0),
+    SigRecord("SIGCHI", 70, 0),
+    SigRecord("SIGCOMM", 50, 8),
+    SigRecord("SIGCPR", 7, 0),
+    SigRecord("SIGCSE", 33, 0),
+    SigRecord("SIGCUE", 6, 0),
+    SigRecord("SIGDA", 14, 0),
+    SigRecord("SIGDOC", 11, 0),
+    SigRecord("SIGecom", 9, 0),
+    SigRecord("SIGFORTH", 5, 0),
+    SigRecord("SIGGRAPH", 80, 18),
+    SigRecord("SIGGROUP", 10, 0),
+    SigRecord("SIGIR", 38, 0),
+    SigRecord("SIGKDD", 22, 0),
+    SigRecord("SIGMETRICS", 19, 0),
+    SigRecord("SIGMICRO", 9, 0),
+    SigRecord("SIGMIS", 8, 0),
+    SigRecord("SIGMM", 13, 0),
+    SigRecord("SIGMOBILE", 16, 0),
+    SigRecord("SIGMOD", 60, 14),
+    SigRecord("SIGNUM", 6, 0),
+    SigRecord("SIGOPS", 45, 0),
+    SigRecord("SIGPLAN", 55, 24),
+    SigRecord("SIGSAC", 12, 0),
+    SigRecord("SIGSAM", 9, 3),
+    SigRecord("SIGSIM", 8, 0),
+    SigRecord("SIGSOFT", 42, 0),
+    SigRecord("SIGUCCS", 7, 0),
+    SigRecord("SIGWEB", 11, 0),
+]
+
+SIG_NAMES = [s.name for s in SIGS]
+
+# The paper's footnote-3 ranking for "Sigs near Knuth".
+KNUTH_ORDER = ["SIGACT", "SIGPLAN", "SIGGRAPH", "SIGMOD", "SIGCOMM", "SIGSAM"]
+
+assert len(SIGS) == 37, "the paper's Sigs table has 37 tuples"

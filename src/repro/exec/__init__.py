@@ -1,0 +1,41 @@
+"""Iterator-based query execution (Graefe-style Open/GetNext/Close).
+
+Every operator implements ``open()`` / ``next()`` / ``close()`` and carries
+its output :class:`~repro.relational.schema.Schema`.  Placeholder values
+flow through "oblivious" operators untouched; operators that *depend on*
+attribute values (filters, sorts, aggregates) evaluate expressions that
+raise :class:`~repro.util.errors.PlaceholderError` on unresolved
+placeholders, which turns any ReqSync-placement bug into a loud failure.
+"""
+
+from repro.exec.operator import Operator, collect, execute
+from repro.exec.scans import RowsScan, TableScan
+from repro.exec.indexscan import IndexScan
+from repro.exec.filter import Filter
+from repro.exec.project import Project
+from repro.exec.joins import CrossProduct, DependentJoin, NestedLoopJoin
+from repro.exec.sort import Sort
+from repro.exec.distinct import Distinct
+from repro.exec.aggregate import Aggregate, AggregateSpec
+from repro.exec.limit import Limit
+from repro.exec.union import UnionAll
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "CrossProduct",
+    "DependentJoin",
+    "Distinct",
+    "Filter",
+    "IndexScan",
+    "Limit",
+    "NestedLoopJoin",
+    "Operator",
+    "Project",
+    "RowsScan",
+    "Sort",
+    "TableScan",
+    "UnionAll",
+    "collect",
+    "execute",
+]

@@ -1,0 +1,41 @@
+"""Duplicate elimination."""
+
+from repro.exec.operator import Operator
+from repro.relational.placeholder import require_concrete
+
+
+class Distinct(Operator):
+    """Hash-based duplicate elimination.
+
+    Distinct must examine complete tuples (the paper classifies it with
+    the existential clash rule: duplicate elimination over placeholders
+    would be wrong), so it checks every value it hashes.
+    """
+
+    def __init__(self, child):
+        self.child = child
+        self.schema = child.schema
+        self.children = (child,)
+        self._seen = None
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self.child.open()
+        self._seen = set()
+
+    def next(self):
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            key = tuple(require_concrete(v, "DISTINCT") for v in row)
+            if key not in self._seen:
+                self._seen.add(key)
+                return row
+
+    def close(self):
+        self.child.close()
+        self._seen = None
+
+    def label(self):
+        return "Distinct"

@@ -1,0 +1,39 @@
+"""Selection."""
+
+from repro.exec.operator import Operator
+
+
+class Filter(Operator):
+    """Emit child rows for which the predicate evaluates to True.
+
+    SQL semantics: rows whose predicate is False *or NULL* are dropped.
+    The predicate *depends on* the attributes it reads, so evaluating it
+    over a placeholder raises — by the paper's clash rule 1, ReqSync
+    percolation must pull this operator above the ReqSync (or vice versa)
+    whenever the predicate touches placeholder-carrying columns.
+    """
+
+    def __init__(self, child, predicate):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self.children = (child,)
+
+    def open(self, bindings=None):
+        # Pass-through: a Filter may sit between a dependent join and the
+        # scan it parameterizes (e.g. after percolation rewrites).
+        self.child.open(bindings)
+
+    def next(self):
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            if self.predicate.eval(row) is True:
+                return row
+
+    def close(self):
+        self.child.close()
+
+    def label(self):
+        return "Select: {}".format(self.predicate.sql(self.schema))

@@ -1,0 +1,152 @@
+"""Join operators: nested-loop join, cross product, and the dependent join.
+
+The paper's host system offers only nested-loop joins; the dependent join
+is the nested-loop variant whose inner side requires bindings from the
+current outer tuple (it feeds the virtual tables' input columns).
+"""
+
+from repro.exec.operator import Operator
+from repro.util.errors import ExecutionError
+
+
+class CrossProduct(Operator):
+    """Nested-loop cross product (inner side re-opened per outer tuple)."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        self.children = (left, right)
+        self._outer_row = None
+        self._opened = False
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self.left.open()
+        self._outer_row = None
+        self._opened = True
+
+    def next(self):
+        if not self._opened:
+            raise ExecutionError("CrossProduct.next() before open()")
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self.left.next()
+                if self._outer_row is None:
+                    return None
+                self.right.open()
+            inner = self.right.next()
+            if inner is None:
+                self.right.close()
+                self._outer_row = None
+                continue
+            return self._outer_row + inner
+
+    def close(self):
+        if self._opened:
+            self.left.close()
+            if self._outer_row is not None:
+                self.right.close()
+            self._outer_row = None
+            self._opened = False
+
+    def label(self):
+        return "Cross-Product"
+
+
+class NestedLoopJoin(Operator):
+    """Cross product plus a join predicate evaluated per combined row."""
+
+    def __init__(self, left, right, predicate):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.schema = left.schema.concat(right.schema)
+        self.children = (left, right)
+        self._product = None
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        # Built per open() so plan rewrites that swap children stay honest.
+        self._product = CrossProduct(self.left, self.right)
+        self._product.open()
+
+    def next(self):
+        while True:
+            row = self._product.next()
+            if row is None:
+                return None
+            if self.predicate.eval(row) is True:
+                return row
+
+    def close(self):
+        if self._product is not None:
+            self._product.close()
+            self._product = None
+
+    def label(self):
+        return "Join: {}".format(self.predicate.sql(self.schema))
+
+
+class DependentJoin(Operator):
+    """Nested-loop join whose inner side needs outer-tuple bindings.
+
+    ``binding_columns`` maps each inner input-parameter name (``"T1"``,
+    ``"SearchExp"``, ``"Url"``, ...) to the outer-row index that supplies
+    its value.  The equi-join predicate is implicit: the inner scan echoes
+    its bound inputs as columns, so output rows already satisfy it.
+
+    The operator is oblivious to asynchronous iteration, exactly as in the
+    paper: it combines whatever (possibly placeholder-carrying) tuples the
+    inner scan returns.
+    """
+
+    def __init__(self, left, right, binding_columns):
+        self.left = left
+        self.right = right
+        self.binding_columns = dict(binding_columns)
+        self.schema = left.schema.concat(right.schema)
+        self.children = (left, right)
+        self._outer_row = None
+        self._opened = False
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self.left.open()
+        self._outer_row = None
+        self._opened = True
+
+    def next(self):
+        if not self._opened:
+            raise ExecutionError("DependentJoin.next() before open()")
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self.left.next()
+                if self._outer_row is None:
+                    return None
+                inner_bindings = {
+                    param: self._outer_row[index]
+                    for param, index in self.binding_columns.items()
+                }
+                self.right.open(inner_bindings)
+            inner = self.right.next()
+            if inner is None:
+                self.right.close()
+                self._outer_row = None
+                continue
+            return self._outer_row + inner
+
+    def close(self):
+        if self._opened:
+            self.left.close()
+            if self._outer_row is not None:
+                self.right.close()
+            self._outer_row = None
+            self._opened = False
+
+    def label(self):
+        pairs = ", ".join(
+            "{} <- {}".format(param, self.left.schema[index].qualified_name())
+            for param, index in sorted(self.binding_columns.items())
+        )
+        return "Dependent Join: {}".format(pairs)

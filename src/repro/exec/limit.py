@@ -1,0 +1,34 @@
+"""LIMIT."""
+
+from repro.exec.operator import Operator
+
+
+class Limit(Operator):
+    """Emit at most *count* rows from the child."""
+
+    def __init__(self, child, count):
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+        self.children = (child,)
+        self._emitted = 0
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self.child.open()
+        self._emitted = 0
+
+    def next(self):
+        if self._emitted >= self.count:
+            return None
+        row = self.child.next()
+        if row is None:
+            return None
+        self._emitted += 1
+        return row
+
+    def close(self):
+        self.child.close()
+
+    def label(self):
+        return "Limit: {}".format(self.count)

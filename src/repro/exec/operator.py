@@ -1,0 +1,67 @@
+"""Base operator contract and execution helpers."""
+
+from repro.util.errors import ExecutionError
+
+
+class Operator:
+    """Base class for all physical query-plan operators.
+
+    Lifecycle: ``open() -> next()* -> close()``; operators are re-openable
+    after ``close()`` (nested-loop joins rely on this).  ``next()`` returns
+    a row tuple or ``None`` at end of stream.
+
+    ``open(bindings)``: only operators that sit on the inner side of a
+    dependent join accept a bindings dict (external virtual-table scans,
+    and pass-through operators that forward it).  Everything else must be
+    opened with ``bindings=None``.
+    """
+
+    #: Subclasses set these in __init__.
+    schema = None
+    children = ()
+
+    def open(self, bindings=None):
+        raise NotImplementedError
+
+    def next(self):
+        raise NotImplementedError
+
+    def close(self):
+        raise NotImplementedError
+
+    # -- conveniences ---------------------------------------------------------
+
+    def label(self):
+        """One-line description used by plan explanation."""
+        return type(self).__name__
+
+    def explain(self, indent=0):
+        """Nested textual rendering of the plan tree."""
+        lines = ["{}{}".format("  " * indent, self.label())]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _reject_bindings(self, bindings):
+        if bindings:
+            raise ExecutionError(
+                "{} does not accept dependent-join bindings".format(type(self).__name__)
+            )
+
+
+def execute(plan, bindings=None):
+    """Open *plan*, yield every row, and close it (even on error)."""
+    plan.open(bindings)
+    try:
+        while True:
+            row = plan.next()
+            if row is None:
+                return
+            yield row
+    finally:
+        plan.close()
+
+
+def collect(plan):
+    """Run *plan* to completion and return all rows as a list."""
+    return list(execute(plan))

@@ -1,0 +1,43 @@
+"""Projection (with computed expressions)."""
+
+from repro.exec.operator import Operator
+from repro.relational.expr import ColumnRef
+
+
+class Project(Operator):
+    """Evaluate one output expression per result column.
+
+    A bare column reference is copied *raw* — placeholders pass through,
+    since moving a value does not depend on it.  Computed expressions
+    (arithmetic etc.) genuinely depend on their inputs and therefore raise
+    on placeholders; clash rule 2 (projection must not drop placeholder
+    attributes) is enforced by the plan rewriter, not here.
+    """
+
+    def __init__(self, child, expressions, schema):
+        assert len(expressions) == len(schema)
+        self.child = child
+        self.expressions = list(expressions)
+        self.schema = schema
+        self.children = (child,)
+
+    def open(self, bindings=None):
+        self.child.open(bindings)
+
+    def next(self):
+        row = self.child.next()
+        if row is None:
+            return None
+        return tuple(
+            expr.raw(row) if isinstance(expr, ColumnRef) else expr.eval(row)
+            for expr in self.expressions
+        )
+
+    def close(self):
+        self.child.close()
+
+    def label(self):
+        rendered = ", ".join(
+            expr.sql(self.child.schema) for expr in self.expressions
+        )
+        return "Project: {}".format(rendered)

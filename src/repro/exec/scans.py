@@ -1,0 +1,60 @@
+"""Leaf scans: stored tables and in-memory row collections."""
+
+from repro.exec.operator import Operator
+from repro.util.errors import ExecutionError
+
+
+class TableScan(Operator):
+    """Sequential scan of a stored table through the buffer pool."""
+
+    def __init__(self, table, qualifier=None):
+        self.table = table
+        self.qualifier = qualifier or table.name
+        self.schema = table.schema.with_qualifier(self.qualifier)
+        self.children = ()
+        self._iterator = None
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self._iterator = self.table.scan()
+
+    def next(self):
+        if self._iterator is None:
+            raise ExecutionError("TableScan.next() before open()")
+        return next(self._iterator, None)
+
+    def close(self):
+        self._iterator = None
+
+    def label(self):
+        return "Scan: {}".format(self.qualifier)
+
+
+class RowsScan(Operator):
+    """Scan over a fixed in-memory row list (tests, VALUES, DSQ internals)."""
+
+    def __init__(self, schema, rows, name="rows"):
+        self.schema = schema
+        self.rows_data = [tuple(r) for r in rows]
+        self.name = name
+        self.children = ()
+        self._position = None
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self._position = 0
+
+    def next(self):
+        if self._position is None:
+            raise ExecutionError("RowsScan.next() before open()")
+        if self._position >= len(self.rows_data):
+            return None
+        row = self.rows_data[self._position]
+        self._position += 1
+        return row
+
+    def close(self):
+        self._position = None
+
+    def label(self):
+        return "Scan: {} ({} rows)".format(self.name, len(self.rows_data))

@@ -1,0 +1,89 @@
+"""Sorting (full materialization, stable)."""
+
+import functools
+
+from repro.exec.operator import Operator
+from repro.util.errors import ExecutionError
+
+
+def _compare_values(a, b):
+    """SQL-ish comparison with NULLs last (ascending)."""
+    if a is None and b is None:
+        return 0
+    if a is None:
+        return 1
+    if b is None:
+        return -1
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+class Sort(Operator):
+    """ORDER BY: materialize the child, sort by the key expressions.
+
+    Key evaluation depends on attribute values, so a placeholder in a sort
+    key raises — ReqSync must sit below any Sort over its attributes (the
+    paper's Figure 3 plan has exactly this shape).
+    """
+
+    def __init__(self, child, keys):
+        # keys: list of (BoundExpr, descending) pairs.
+        self.child = child
+        self.keys = list(keys)
+        self.schema = child.schema
+        self.children = (child,)
+        self._buffer = None
+        self._position = 0
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self.child.open()
+        rows = []
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            rows.append(row)
+        self.child.close()
+        decorated = [
+            (tuple(expr.eval(row) for expr, _ in self.keys), row) for row in rows
+        ]
+        comparator = self._make_comparator()
+        decorated.sort(key=functools.cmp_to_key(comparator))
+        self._buffer = [row for _, row in decorated]
+        self._position = 0
+
+    def _make_comparator(self):
+        directions = [descending for _, descending in self.keys]
+
+        def compare(a, b):
+            for i, descending in enumerate(directions):
+                result = _compare_values(a[0][i], b[0][i])
+                if result != 0:
+                    return -result if descending else result
+            return 0
+
+        return compare
+
+    def next(self):
+        if self._buffer is None:
+            raise ExecutionError("Sort.next() before open()")
+        if self._position >= len(self._buffer):
+            return None
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+    def close(self):
+        self._buffer = None
+        self._position = 0
+
+    def label(self):
+        rendered = ", ".join(
+            "{}{}".format(expr.sql(self.schema), " Desc" if descending else "")
+            for expr, descending in self.keys
+        )
+        return "Sort: {}".format(rendered)

@@ -1,0 +1,55 @@
+"""Bag union.
+
+The paper's percolation discussion uses exactly this rewrite: a clashing
+set-union is replaced by a *non-clashing* bag union with a ``Select
+Distinct`` above it, letting ReqSync rise through the union.
+"""
+
+from repro.exec.operator import Operator
+from repro.util.errors import ExecutionError
+
+
+class UnionAll(Operator):
+    """Concatenate the rows of two schema-compatible children."""
+
+    def __init__(self, left, right):
+        if len(left.schema) != len(right.schema):
+            raise ExecutionError("UNION arms have different arity")
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+        self.children = (left, right)
+        self._stage = None
+
+    def open(self, bindings=None):
+        self._reject_bindings(bindings)
+        self.left.open()
+        self._stage = 0
+
+    def next(self):
+        if self._stage is None:
+            raise ExecutionError("UnionAll.next() before open()")
+        if self._stage == 2:
+            return None
+        if self._stage == 0:
+            row = self.left.next()
+            if row is not None:
+                return row
+            self.left.close()
+            self.right.open()
+            self._stage = 1
+        row = self.right.next()
+        if row is None:
+            self.right.close()
+            self._stage = 2
+        return row
+
+    def close(self):
+        if self._stage == 0:
+            self.left.close()
+        elif self._stage == 1:
+            self.right.close()
+        self._stage = None
+
+    def label(self):
+        return "Union All"

@@ -1,0 +1,178 @@
+"""Virtual-table usage analysis.
+
+Given a parsed query and the catalog, work out — per virtual-table
+occurrence — how many term columns (*n*) the query uses, which WHERE
+conjuncts provide its inputs (template, term constants, rank limits,
+dependent equi-joins), and which conjuncts remain as ordinary predicates.
+This implements the paper's "the number of columns is a function of the
+given query" semantics plus the default-SearchExp / default-Rank rules.
+"""
+
+import re
+
+from repro.sql import ast
+from repro.plan.binder import collect_names, conjuncts_of
+from repro.util.errors import BindingError, PlanError
+
+_TERM_RE = re.compile(r"^t(\d+)$")
+_TEMPLATE_PARAM_RE = re.compile(r"%(\d+)")
+
+SEARCH_EXP = "searchexp"
+RANK = "rank"
+
+
+class VTableUsage:
+    """Per-occurrence analysis result for one virtual table."""
+
+    def __init__(self, alias):
+        self.alias = alias
+        self.n = 0
+        self.template = None  # constant SearchExp, if any
+        self.rank_limit = None  # max row count from Rank predicates
+        self.constant_terms = {}  # "T3" -> constant
+        self.dependent_terms = {}  # "T1" -> ast.Name of the providing column
+        self.consumed = []  # conjunct ASTs absorbed into the scan
+
+
+def _term_index(name):
+    match = _TERM_RE.match(name.lower())
+    return int(match.group(1)) if match else None
+
+
+def _qualifier_matches(name_node, alias, sole_vtable):
+    """Does *name_node* refer to the vtable *alias*?
+
+    Unqualified references (the paper's Query 1 writes bare ``T1``) are
+    attributed to the only virtual table when there is exactly one.
+    """
+    if name_node.qualifier is not None:
+        return name_node.qualifier.lower() == alias.lower()
+    return sole_vtable
+
+
+def analyze_vtables(query, vtable_aliases):
+    """Analyze every vtable occurrence.
+
+    *vtable_aliases* is the list of FROM aliases that are virtual tables
+    (search-style ones with SearchExp/Ti; WebFetch-style tables are
+    analyzed by :func:`analyze_url_vtable`).  Returns
+    ``(usages, residual_conjuncts)``.
+    """
+    sole = len(vtable_aliases) == 1
+    usages = {alias: VTableUsage(alias) for alias in vtable_aliases}
+    conjuncts = conjuncts_of(query.where)
+
+    # Pass 1: find n for each vtable from every Ti reference in the query.
+    for node in _all_expressions(query):
+        for name in collect_names(node):
+            index = _term_index(name.name)
+            if index is None:
+                continue
+            for alias, usage in usages.items():
+                if _qualifier_matches(name, alias, sole):
+                    usage.n = max(usage.n, index)
+
+    residual = []
+    for conjunct in conjuncts:
+        if not _try_consume(conjunct, usages, sole):
+            residual.append(conjunct)
+
+    # Template parameters can push n higher than the referenced columns.
+    for usage in usages.values():
+        if usage.template is not None:
+            for match in _TEMPLATE_PARAM_RE.finditer(usage.template):
+                usage.n = max(usage.n, int(match.group(1)))
+
+    return usages, residual
+
+
+def _all_expressions(query):
+    expressions = []
+    for item in query.select_items:
+        if not isinstance(item.expr, ast.Star):
+            expressions.append(item.expr)
+    if query.where is not None:
+        expressions.append(query.where)
+    expressions.extend(query.group_by)
+    if query.having is not None:
+        expressions.append(query.having)
+    for order in query.order_by:
+        expressions.append(order.expr)
+    return expressions
+
+
+def _try_consume(conjunct, usages, sole):
+    """Absorb *conjunct* into a vtable usage if it is an input binding."""
+    if not isinstance(conjunct, ast.Cmp):
+        return False
+    for left, right in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+        if not isinstance(left, ast.Name):
+            continue
+        for alias, usage in usages.items():
+            if not _qualifier_matches(left, alias, sole):
+                continue
+            lower = left.name.lower()
+            if lower == SEARCH_EXP and conjunct.op == "=" and isinstance(right, ast.Const):
+                if not isinstance(right.value, str):
+                    raise PlanError("SearchExp must be bound to a string")
+                usage.template = right.value
+                usage.consumed.append(conjunct)
+                return True
+            if lower == RANK and isinstance(right, ast.Const):
+                limit = _rank_limit(conjunct.op, right.value, right is conjunct.right)
+                if limit is not None:
+                    usage.rank_limit = (
+                        limit
+                        if usage.rank_limit is None
+                        else min(usage.rank_limit, limit)
+                    )
+                    usage.consumed.append(conjunct)
+                    return True
+                return False  # e.g. Rank = 3: keep as a residual filter
+            index = _term_index(left.name)
+            if index is not None and conjunct.op == "=":
+                name = "T{}".format(index)
+                if isinstance(right, ast.Const):
+                    if not isinstance(right.value, str):
+                        raise PlanError(
+                            "{}.{} must be bound to a string".format(alias, name)
+                        )
+                    usage.constant_terms[name] = right.value
+                    usage.consumed.append(conjunct)
+                    return True
+                if isinstance(right, ast.Name):
+                    # Could itself be another vtable's term column; the
+                    # planner validates providers, we just record it.
+                    usage.dependent_terms[name] = right
+                    usage.consumed.append(conjunct)
+                    return True
+    return False
+
+
+def _rank_limit(op, value, name_on_left):
+    """Translate a Rank comparison into a max row count, if possible."""
+    if not isinstance(value, int):
+        return None
+    # Normalize to "Rank <op> value".
+    if not name_on_left:
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        op = flip.get(op, op)
+    if op == "<=":
+        return value
+    if op == "<":
+        return value - 1
+    return None
+
+
+def validate_bindings(usage, instance):
+    """Check that every input of *instance* was bound by the query."""
+    missing = [
+        param
+        for param in instance.dependent_params
+        if param not in usage.dependent_terms and param not in usage.constant_terms
+    ]
+    if missing:
+        raise BindingError(
+            "virtual table {} has unbound inputs {}; bind them with "
+            "constants or equi-joins".format(usage.alias, missing)
+        )

@@ -1,0 +1,44 @@
+"""Relational data model shared by every layer.
+
+This package defines the value types, column/schema metadata, and the bound
+(executable) expression tree.  The SQL front end produces *unbound* syntax
+trees (:mod:`repro.sql.ast`); the planner resolves names against schemas and
+emits the bound expressions defined here.
+"""
+
+from repro.relational.types import DataType, coerce_value, infer_literal_type
+from repro.relational.schema import Column, Schema
+from repro.relational.expr import (
+    BinaryOp,
+    BoundExpr,
+    ColumnRef,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+)
+from repro.relational.placeholder import (
+    Placeholder,
+    is_placeholder,
+    row_pending_calls,
+)
+
+__all__ = [
+    "Placeholder",
+    "is_placeholder",
+    "row_pending_calls",
+    "BinaryOp",
+    "BoundExpr",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "Conjunction",
+    "DataType",
+    "Disjunction",
+    "Literal",
+    "Negation",
+    "Schema",
+    "coerce_value",
+    "infer_literal_type",
+]

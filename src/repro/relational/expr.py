@@ -1,0 +1,588 @@
+"""Bound (executable) expressions.
+
+These trees reference row positions by integer index, so evaluation is a
+plain tuple lookup.  The planner produces them by resolving the SQL AST
+against operator schemas; the plan rewriter remaps indexes when it moves
+operators around (ReqSync percolation pulls selections and projections up).
+
+NULL semantics are SQL-ish three-valued logic: comparisons involving NULL
+yield NULL, conjunction/disjunction propagate unknown, and filters treat a
+non-True result as "drop the row".
+"""
+
+import operator
+
+from repro.relational.placeholder import require_concrete
+from repro.relational.types import DataType, common_numeric_type, infer_literal_type
+from repro.util.errors import TypeMismatchError
+
+
+class BoundExpr:
+    """Base class for bound expressions."""
+
+    def eval(self, row):
+        raise NotImplementedError
+
+    def referenced_columns(self):
+        """Set of row indexes this expression reads."""
+        raise NotImplementedError
+
+    def remap(self, index_map):
+        """Return a copy with column indexes translated via *index_map*."""
+        raise NotImplementedError
+
+    def result_type(self, schema):
+        """Static type of the expression over *schema* (may be ``None``)."""
+        raise NotImplementedError
+
+    def sql(self, schema=None):
+        """A human-readable rendering, used in plan explanations."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "{}({})".format(type(self).__name__, self.sql())
+
+
+class Literal(BoundExpr):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def eval(self, row):
+        return self.value
+
+    def referenced_columns(self):
+        return set()
+
+    def remap(self, index_map):
+        return self
+
+    def result_type(self, schema):
+        return infer_literal_type(self.value)
+
+    def sql(self, schema=None):
+        if isinstance(self.value, str):
+            return "'{}'".format(self.value.replace("'", "''"))
+        return str(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self):
+        return hash((Literal, self.value))
+
+
+class ColumnRef(BoundExpr):
+    """A reference to a row position.  ``display`` is the original name."""
+
+    __slots__ = ("index", "display")
+
+    def __init__(self, index, display=None):
+        self.index = index
+        self.display = display
+
+    def eval(self, row):
+        return require_concrete(row[self.index], context=self.sql())
+
+    def raw(self, row):
+        """Read the value without the placeholder guard (for projections)."""
+        return row[self.index]
+
+    def referenced_columns(self):
+        return {self.index}
+
+    def remap(self, index_map):
+        return ColumnRef(index_map[self.index], self.display)
+
+    def result_type(self, schema):
+        if schema is None:
+            return None
+        return schema[self.index].type
+
+    def sql(self, schema=None):
+        if schema is not None:
+            return schema[self.index].qualified_name()
+        return self.display or "#{}".format(self.index)
+
+    def __eq__(self, other):
+        return isinstance(other, ColumnRef) and self.index == other.index
+
+    def __hash__(self):
+        return hash((ColumnRef, self.index))
+
+
+_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": None,  # handled specially: SQL-style division
+}
+
+
+class BinaryOp(BoundExpr):
+    """Arithmetic over numeric operands (``+ - * /``).
+
+    Division follows SQL conventions loosely: any division produces a FLOAT
+    (the paper's Query 2 computes ``Count/Population`` as a ratio), and
+    division by zero yields NULL rather than an error.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in _ARITH_OPS:
+            raise TypeMismatchError("unknown arithmetic operator {!r}".format(op))
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, row):
+        lhs = self.left.eval(row)
+        rhs = self.right.eval(row)
+        if lhs is None or rhs is None:
+            return None
+        if self.op == "/":
+            if rhs == 0:
+                return None
+            return lhs / rhs
+        return _ARITH_OPS[self.op](lhs, rhs)
+
+    def referenced_columns(self):
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def remap(self, index_map):
+        return BinaryOp(self.op, self.left.remap(index_map), self.right.remap(index_map))
+
+    def result_type(self, schema):
+        lt = self.left.result_type(schema)
+        rt = self.right.result_type(schema)
+        if lt is None or rt is None:
+            return None
+        if self.op == "/":
+            common_numeric_type(lt, rt)  # validate numeric
+            return DataType.FLOAT
+        return common_numeric_type(lt, rt)
+
+    def sql(self, schema=None):
+        return "({} {} {})".format(self.left.sql(schema), self.op, self.right.sql(schema))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BinaryOp)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash((BinaryOp, self.op, self.left, self.right))
+
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Comparison(BoundExpr):
+    """A comparison predicate; NULL operands yield NULL (unknown)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in _COMPARATORS:
+            raise TypeMismatchError("unknown comparison operator {!r}".format(op))
+        self.op = "!=" if op == "<>" else op
+        self.left = left
+        self.right = right
+
+    def eval(self, row):
+        lhs = self.left.eval(row)
+        rhs = self.right.eval(row)
+        if lhs is None or rhs is None:
+            return None
+        if isinstance(lhs, str) != isinstance(rhs, str):
+            raise TypeMismatchError(
+                "cannot compare {!r} with {!r}".format(lhs, rhs)
+            )
+        return _COMPARATORS[self.op](lhs, rhs)
+
+    def referenced_columns(self):
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def remap(self, index_map):
+        return Comparison(self.op, self.left.remap(index_map), self.right.remap(index_map))
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return "{} {} {}".format(self.left.sql(schema), self.op, self.right.sql(schema))
+
+    def is_equijoin(self):
+        """True when this is ``col = col`` (the dependent-join feeder shape)."""
+        return (
+            self.op == "="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash((Comparison, self.op, self.left, self.right))
+
+
+class Conjunction(BoundExpr):
+    """AND over one or more predicates, with 3-valued logic."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms):
+        self.terms = tuple(terms)
+        if not self.terms:
+            raise TypeMismatchError("empty conjunction")
+
+    def eval(self, row):
+        saw_null = False
+        for term in self.terms:
+            value = term.eval(row)
+            if value is False:
+                return False
+            if value is None:
+                saw_null = True
+        return None if saw_null else True
+
+    def referenced_columns(self):
+        refs = set()
+        for term in self.terms:
+            refs |= term.referenced_columns()
+        return refs
+
+    def remap(self, index_map):
+        return Conjunction(tuple(t.remap(index_map) for t in self.terms))
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return " AND ".join(t.sql(schema) for t in self.terms)
+
+    def __eq__(self, other):
+        return isinstance(other, Conjunction) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash((Conjunction, self.terms))
+
+
+class Disjunction(BoundExpr):
+    """OR over one or more predicates, with 3-valued logic."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms):
+        self.terms = tuple(terms)
+        if not self.terms:
+            raise TypeMismatchError("empty disjunction")
+
+    def eval(self, row):
+        saw_null = False
+        for term in self.terms:
+            value = term.eval(row)
+            if value is True:
+                return True
+            if value is None:
+                saw_null = True
+        return None if saw_null else False
+
+    def referenced_columns(self):
+        refs = set()
+        for term in self.terms:
+            refs |= term.referenced_columns()
+        return refs
+
+    def remap(self, index_map):
+        return Disjunction(tuple(t.remap(index_map) for t in self.terms))
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return " OR ".join("({})".format(t.sql(schema)) for t in self.terms)
+
+    def __eq__(self, other):
+        return isinstance(other, Disjunction) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash((Disjunction, self.terms))
+
+
+class Negation(BoundExpr):
+    """NOT, with 3-valued logic (NOT NULL is NULL)."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term):
+        self.term = term
+
+    def eval(self, row):
+        value = self.term.eval(row)
+        if value is None:
+            return None
+        return not value
+
+    def referenced_columns(self):
+        return self.term.referenced_columns()
+
+    def remap(self, index_map):
+        return Negation(self.term.remap(index_map))
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return "NOT ({})".format(self.term.sql(schema))
+
+    def __eq__(self, other):
+        return isinstance(other, Negation) and self.term == other.term
+
+    def __hash__(self):
+        return hash((Negation, self.term))
+
+
+def conjunction_terms(expr):
+    """Flatten *expr* into a list of AND-ed terms (identity for non-AND)."""
+    if isinstance(expr, Conjunction):
+        terms = []
+        for term in expr.terms:
+            terms.extend(conjunction_terms(term))
+        return terms
+    return [expr]
+
+
+def make_conjunction(terms):
+    """Build the smallest expression equal to AND-ing *terms*.
+
+    Returns ``None`` for an empty list and the single term for length one.
+    """
+    terms = list(terms)
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return Conjunction(terms)
+
+
+class LikePredicate(BoundExpr):
+    """SQL LIKE matching: ``%`` = any run, ``_`` = any single character.
+
+    The pattern is compiled once; NULL input yields NULL.
+    """
+
+    __slots__ = ("expr", "pattern", "negated", "_regex")
+
+    def __init__(self, expr, pattern, negated=False):
+        import re
+
+        self.expr = expr
+        self.pattern = pattern
+        self.negated = negated
+        translated = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern
+        )
+        self._regex = re.compile("^(?:{})$".format(translated))
+
+    def eval(self, row):
+        value = self.expr.eval(row)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise TypeMismatchError("LIKE requires a string, got {!r}".format(value))
+        matched = self._regex.match(value) is not None
+        return (not matched) if self.negated else matched
+
+    def referenced_columns(self):
+        return self.expr.referenced_columns()
+
+    def remap(self, index_map):
+        return LikePredicate(self.expr.remap(index_map), self.pattern, self.negated)
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return "{} {}LIKE '{}'".format(
+            self.expr.sql(schema),
+            "NOT " if self.negated else "",
+            self.pattern.replace("'", "''"),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LikePredicate)
+            and self.expr == other.expr
+            and self.pattern == other.pattern
+            and self.negated == other.negated
+        )
+
+    def __hash__(self):
+        return hash((LikePredicate, self.expr, self.pattern, self.negated))
+
+
+class NullCheck(BoundExpr):
+    """``IS NULL`` / ``IS NOT NULL`` — the only two-valued predicate."""
+
+    __slots__ = ("expr", "negated")
+
+    def __init__(self, expr, negated=False):
+        self.expr = expr
+        self.negated = negated
+
+    def eval(self, row):
+        # Evaluate via raw access where possible: IS NULL must not trip
+        # the placeholder guard differently from other value reads, but a
+        # placeholder is still "unknown", so the guard stays.
+        value = self.expr.eval(row)
+        is_null = value is None
+        return (not is_null) if self.negated else is_null
+
+    def referenced_columns(self):
+        return self.expr.referenced_columns()
+
+    def remap(self, index_map):
+        return NullCheck(self.expr.remap(index_map), self.negated)
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return "{} IS {}NULL".format(
+            self.expr.sql(schema), "NOT " if self.negated else ""
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NullCheck)
+            and self.expr == other.expr
+            and self.negated == other.negated
+        )
+
+    def __hash__(self):
+        return hash((NullCheck, self.expr, self.negated))
+
+
+class SubqueryMixin:
+    """Shared lazy materialization for subquery predicates.
+
+    The subplan is executed once, on first evaluation, and its result is
+    cached for the lifetime of the expression — sound because only
+    *uncorrelated* subqueries are planned into these nodes.
+    """
+
+    def _subplan_rows(self):
+        if self._rows is None:
+            from repro.exec.operator import collect
+
+            self._rows = collect(self.subplan)
+        return self._rows
+
+
+class InSubqueryPredicate(BoundExpr, SubqueryMixin):
+    """``expr [NOT] IN (subplan)`` with SQL NULL semantics.
+
+    ``x IN (...)`` is True on a match, NULL if no match but the subquery
+    produced a NULL, else False; NOT IN negates through 3-valued logic.
+    """
+
+    __slots__ = ("expr", "subplan", "negated", "_rows")
+
+    def __init__(self, expr, subplan, negated=False):
+        self.expr = expr
+        self.subplan = subplan
+        self.negated = negated
+        self._rows = None
+
+    def eval(self, row):
+        value = self.expr.eval(row)
+        if value is None:
+            return None
+        candidates = self._subplan_rows()
+        has_null = False
+        for candidate in candidates:
+            if candidate[0] is None:
+                has_null = True
+            elif candidate[0] == value:
+                return False if self.negated else True
+        if has_null:
+            return None
+        return True if self.negated else False
+
+    def referenced_columns(self):
+        return self.expr.referenced_columns()
+
+    def remap(self, index_map):
+        clone = InSubqueryPredicate(self.expr.remap(index_map), self.subplan, self.negated)
+        clone._rows = self._rows
+        return clone
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return "{} {}IN (<subquery>)".format(
+            self.expr.sql(schema), "NOT " if self.negated else ""
+        )
+
+    def __eq__(self, other):
+        return self is other  # subplans have identity semantics
+
+    def __hash__(self):
+        return id(self)
+
+
+class ExistsPredicate(BoundExpr, SubqueryMixin):
+    """``EXISTS (subplan)``: true iff the subquery returns any row."""
+
+    __slots__ = ("subplan", "_rows")
+
+    def __init__(self, subplan):
+        self.subplan = subplan
+        self._rows = None
+
+    def eval(self, row):
+        return len(self._subplan_rows()) > 0
+
+    def referenced_columns(self):
+        return set()
+
+    def remap(self, index_map):
+        clone = ExistsPredicate(self.subplan)
+        clone._rows = self._rows
+        return clone
+
+    def result_type(self, schema):
+        return DataType.BOOL
+
+    def sql(self, schema=None):
+        return "EXISTS (<subquery>)"
+
+    def __eq__(self, other):
+        return self is other
+
+    def __hash__(self):
+        return id(self)

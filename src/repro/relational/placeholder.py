@@ -1,0 +1,70 @@
+"""Placeholder values for asynchronous iteration (paper Section 4.1).
+
+When an :class:`~repro.asynciter.aevscan.AEVScan` registers an external call
+with the request pump, it immediately returns a tuple whose not-yet-known
+attribute values are :class:`Placeholder` objects.  A placeholder plays the
+two roles the paper assigns it:
+
+1. it marks the attribute (and hence the tuple) as *incomplete*, and
+2. it identifies the pending ReqPump call — plus which field of that call's
+   result — that will supply the true value.
+
+Placeholders are defined in the relational layer (not the async layer)
+because they are ordinary attribute values that flow through oblivious
+operators such as dependent joins and cross products.
+"""
+
+from repro.util.errors import PlaceholderError
+
+
+class Placeholder:
+    """A pending attribute value: ``(call_id, field)`` of an external call.
+
+    ``field`` names the column of the external call's result rows that this
+    placeholder will be patched from (e.g. ``"count"``, ``"url"``,
+    ``"rank"``).
+    """
+
+    __slots__ = ("call_id", "field")
+
+    def __init__(self, call_id, field):
+        self.call_id = call_id
+        self.field = field
+
+    def __repr__(self):
+        return "<?{}:{}>".format(self.call_id, self.field)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Placeholder)
+            and self.call_id == other.call_id
+            and self.field == other.field
+        )
+
+    def __hash__(self):
+        return hash((Placeholder, self.call_id, self.field))
+
+
+def is_placeholder(value):
+    return isinstance(value, Placeholder)
+
+
+def row_pending_calls(row):
+    """Return the set of call ids referenced by placeholders in *row*."""
+    return {v.call_id for v in row if isinstance(v, Placeholder)}
+
+
+def require_concrete(value, context="expression"):
+    """Raise :class:`PlaceholderError` if *value* is still a placeholder.
+
+    Operators that *depend on* an attribute value call this; hitting a
+    placeholder here means the ReqSync percolation rules were violated.
+    """
+    if isinstance(value, Placeholder):
+        raise PlaceholderError(
+            "{} evaluated over unresolved placeholder {!r}; a ReqSync "
+            "operator should have been placed below this operator".format(
+                context, value
+            )
+        )
+    return value

@@ -1,0 +1,84 @@
+"""Value types supported by the engine.
+
+The type system is intentionally small — the paper's Redbase prototype
+supports a comparable subset — but it is enforced: the storage layer
+serializes by declared type, and the planner raises
+:class:`~repro.util.errors.TypeMismatchError` for incompatible expressions.
+"""
+
+import enum
+
+from repro.util.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Column data types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"  # stored as ISO-8601 string 'YYYY-MM-DD'
+    BOOL = "bool"
+
+    def python_types(self):
+        return _PYTHON_TYPES[self]
+
+    @property
+    def is_numeric(self):
+        return self in (DataType.INT, DataType.FLOAT)
+
+
+_PYTHON_TYPES = {
+    DataType.INT: (int,),
+    DataType.FLOAT: (float, int),
+    DataType.STR: (str,),
+    DataType.DATE: (str,),
+    DataType.BOOL: (bool,),
+}
+
+
+def infer_literal_type(value):
+    """Infer the :class:`DataType` of a Python literal (``None`` allowed)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STR
+    raise TypeMismatchError("unsupported literal type: {!r}".format(type(value)))
+
+
+def coerce_value(value, data_type):
+    """Validate/convert *value* for storage in a column of *data_type*.
+
+    ``None`` (SQL NULL) passes through unchanged.  INT→FLOAT widening is the
+    only implicit conversion; everything else must match exactly.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.FLOAT and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if data_type is DataType.INT and isinstance(value, bool):
+        raise TypeMismatchError("BOOL value in INT column")
+    if not isinstance(value, data_type.python_types()):
+        raise TypeMismatchError(
+            "value {!r} does not fit column type {}".format(value, data_type.value)
+        )
+    return value
+
+
+def common_numeric_type(left, right):
+    """Return the wider of two numeric types, or raise."""
+    if not (left.is_numeric and right.is_numeric):
+        raise TypeMismatchError(
+            "arithmetic requires numeric operands, got {} and {}".format(
+                left.value, right.value
+            )
+        )
+    if DataType.FLOAT in (left, right):
+        return DataType.FLOAT
+    return DataType.INT

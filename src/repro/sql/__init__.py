@@ -1,0 +1,55 @@
+"""SQL front end: lexer, abstract syntax tree, recursive-descent parser.
+
+The dialect is the select-project-join subset the paper's Redbase prototype
+supports, extended with the pieces its example queries need (expressions in
+the select list, ``ORDER BY ... DESC``, aliases for multiple references to
+one virtual table) plus small conveniences (``DISTINCT``, ``GROUP BY`` with
+aggregates, ``LIMIT``, and DDL/DML statements for the REPL).
+"""
+
+from repro.sql.ast import (
+    Arith,
+    Cmp,
+    CreateTable,
+    Delete,
+    DropTable,
+    FuncCall,
+    Insert,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Name,
+    Const,
+    OrderItem,
+    SelectItem,
+    SelectQuery,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_select
+
+__all__ = [
+    "Arith",
+    "Cmp",
+    "Const",
+    "CreateTable",
+    "Delete",
+    "DropTable",
+    "FuncCall",
+    "Insert",
+    "LogicalAnd",
+    "LogicalNot",
+    "LogicalOr",
+    "Name",
+    "OrderItem",
+    "SelectItem",
+    "SelectQuery",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_select",
+    "tokenize",
+]

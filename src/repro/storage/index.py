@@ -1,0 +1,42 @@
+"""Table-attached secondary indexes.
+
+A :class:`TableIndex` binds a :class:`~repro.storage.btree.BPlusTree` to
+one column of one table.  The table keeps every attached index in sync on
+insert/delete; the ``on_root_change`` callback persists the tree's root
+page id (it moves when the root splits) into the catalog.
+"""
+
+
+class TableIndex:
+    """One secondary index over ``table.column``."""
+
+    def __init__(self, name, column_name, column_index, tree, on_root_change=None):
+        self.name = name
+        self.column_name = column_name
+        self.column_index = column_index
+        self.tree = tree
+        self._on_root_change = on_root_change
+        self._last_root = tree.root_page_id
+
+    def insert(self, row, rid):
+        self.tree.insert(row[self.column_index], rid)
+        self._persist_root()
+
+    def delete(self, row, rid):
+        self.tree.delete(row[self.column_index], rid)
+        self._persist_root()
+
+    def search(self, key):
+        return self.tree.search(key)
+
+    def range_scan(self, low=None, high=None, include_low=True, include_high=True):
+        return self.tree.range_scan(low, high, include_low, include_high)
+
+    def _persist_root(self):
+        if self.tree.root_page_id != self._last_root:
+            self._last_root = self.tree.root_page_id
+            if self._on_root_change is not None:
+                self._on_root_change(self.name, self.tree.root_page_id)
+
+    def __repr__(self):
+        return "TableIndex({} on {})".format(self.name, self.column_name)

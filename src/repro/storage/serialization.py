@@ -1,0 +1,89 @@
+"""Typed record serialization.
+
+Rows are encoded against their table schema:
+
+- a NULL bitmap (one bit per column, little-endian bit order),
+- INT as 8-byte signed little-endian,
+- FLOAT as IEEE-754 double,
+- BOOL as one byte,
+- STR and DATE as a 4-byte length prefix followed by UTF-8 bytes.
+
+The encoding is self-delimiting given the schema, so records can be packed
+back-to-back inside slotted pages.
+"""
+
+import struct
+
+from repro.relational.types import DataType, coerce_value
+from repro.util.errors import StorageError
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_LEN = struct.Struct("<I")
+
+
+def null_bitmap_size(column_count):
+    return (column_count + 7) // 8
+
+
+def encode_record(row, schema):
+    """Serialize *row* (a sequence of values) against *schema* to bytes."""
+    if len(row) != len(schema):
+        raise StorageError(
+            "row arity {} does not match schema arity {}".format(len(row), len(schema))
+        )
+    bitmap = bytearray(null_bitmap_size(len(schema)))
+    chunks = [bytes(bitmap)]  # patched afterwards
+    for i, (value, column) in enumerate(zip(row, schema)):
+        value = coerce_value(value, column.type)
+        if value is None:
+            bitmap[i // 8] |= 1 << (i % 8)
+            continue
+        if column.type is DataType.INT:
+            chunks.append(_INT.pack(value))
+        elif column.type is DataType.FLOAT:
+            chunks.append(_FLOAT.pack(value))
+        elif column.type is DataType.BOOL:
+            chunks.append(b"\x01" if value else b"\x00")
+        else:  # STR, DATE
+            raw = value.encode("utf-8")
+            chunks.append(_LEN.pack(len(raw)))
+            chunks.append(raw)
+    chunks[0] = bytes(bitmap)
+    return b"".join(chunks)
+
+
+def decode_record(data, schema):
+    """Deserialize bytes produced by :func:`encode_record` into a tuple."""
+    bitmap_size = null_bitmap_size(len(schema))
+    if len(data) < bitmap_size:
+        raise StorageError("truncated record: missing null bitmap")
+    bitmap = data[:bitmap_size]
+    offset = bitmap_size
+    values = []
+    for i, column in enumerate(schema):
+        if bitmap[i // 8] & (1 << (i % 8)):
+            values.append(None)
+            continue
+        if column.type is DataType.INT:
+            (value,) = _INT.unpack_from(data, offset)
+            offset += _INT.size
+        elif column.type is DataType.FLOAT:
+            (value,) = _FLOAT.unpack_from(data, offset)
+            offset += _FLOAT.size
+        elif column.type is DataType.BOOL:
+            value = data[offset] != 0
+            offset += 1
+        else:
+            (length,) = _LEN.unpack_from(data, offset)
+            offset += _LEN.size
+            value = data[offset : offset + length].decode("utf-8")
+            if len(value.encode("utf-8")) != length and offset + length > len(data):
+                raise StorageError("truncated record: string overruns buffer")
+            offset += length
+        values.append(value)
+    if offset != len(data):
+        raise StorageError(
+            "record has {} trailing bytes".format(len(data) - offset)
+        )
+    return tuple(values)

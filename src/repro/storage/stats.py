@@ -1,0 +1,133 @@
+"""Table statistics for cost estimation (ANALYZE).
+
+One full scan per table computes, per column: row count, null fraction,
+number of distinct values, min/max (for ordered types), and the most
+common values with their frequencies.  The cost model uses these instead
+of the System-R constants whenever they are available, exactly as real
+optimizers do.
+"""
+
+from collections import Counter
+
+
+class ColumnStats:
+    """Statistics for one column."""
+
+    __slots__ = ("name", "row_count", "null_fraction", "ndv", "min_value",
+                 "max_value", "mcv")
+
+    def __init__(self, name, row_count, null_fraction, ndv, min_value,
+                 max_value, mcv):
+        self.name = name
+        self.row_count = row_count
+        self.null_fraction = null_fraction
+        self.ndv = ndv  # distinct non-null values
+        self.min_value = min_value
+        self.max_value = max_value
+        self.mcv = mcv  # list of (value, fraction-of-all-rows)
+
+    def mcv_fraction(self, value):
+        for candidate, fraction in self.mcv:
+            if candidate == value:
+                return fraction
+        return None
+
+    def equality_selectivity(self, value=None):
+        """Fraction of rows equal to *value* (or to an average value)."""
+        if self.row_count == 0 or self.ndv == 0:
+            return 0.0
+        if value is not None:
+            known = self.mcv_fraction(value)
+            if known is not None:
+                return known
+        mcv_mass = sum(fraction for _, fraction in self.mcv)
+        remaining_ndv = max(1, self.ndv - len(self.mcv))
+        remaining_mass = max(0.0, (1.0 - self.null_fraction) - mcv_mass)
+        return remaining_mass / remaining_ndv
+
+    def range_selectivity(self, op, value):
+        """Linear-interpolation estimate for ``column <op> value``."""
+        if self.row_count == 0:
+            return 0.0
+        lo, hi = self.min_value, self.max_value
+        if (
+            lo is None
+            or hi is None
+            or not isinstance(value, (int, float))
+            or not isinstance(lo, (int, float))
+            or isinstance(value, bool)
+        ):
+            return None  # fall back to the heuristic constant
+        if hi == lo:
+            covered = 1.0 if _range_contains(op, value, lo) else 0.0
+        else:
+            position = (value - lo) / float(hi - lo)
+            position = min(1.0, max(0.0, position))
+            covered = position if op in ("<", "<=") else 1.0 - position
+        return covered * (1.0 - self.null_fraction)
+
+    def __repr__(self):
+        return (
+            "ColumnStats({}: n={}, ndv={}, nulls={:.0%})".format(
+                self.name, self.row_count, self.ndv, self.null_fraction
+            )
+        )
+
+
+def _range_contains(op, value, point):
+    if op == "<":
+        return point < value
+    if op == "<=":
+        return point <= value
+    if op == ">":
+        return point > value
+    return point >= value
+
+
+class TableStats:
+    """Statistics for one table."""
+
+    def __init__(self, row_count, columns):
+        self.row_count = row_count
+        self.columns = columns  # name.lower() -> ColumnStats
+
+    def column(self, name):
+        return self.columns.get(name.lower())
+
+    def __repr__(self):
+        return "TableStats({} rows, {} columns)".format(
+            self.row_count, len(self.columns)
+        )
+
+
+def analyze_table(table, mcv_size=5):
+    """Scan *table* once and compute :class:`TableStats`."""
+    counters = [Counter() for _ in table.schema]
+    nulls = [0] * len(table.schema)
+    row_count = 0
+    for row in table.scan():
+        row_count += 1
+        for i, value in enumerate(row):
+            if value is None:
+                nulls[i] += 1
+            else:
+                counters[i][value] += 1
+    columns = {}
+    for i, column in enumerate(table.schema):
+        counter = counters[i]
+        ndv = len(counter)
+        mcv = [
+            (value, count / row_count)
+            for value, count in counter.most_common(mcv_size)
+        ] if row_count else []
+        ordered = sorted(counter) if counter else []
+        columns[column.name.lower()] = ColumnStats(
+            name=column.name,
+            row_count=row_count,
+            null_fraction=(nulls[i] / row_count) if row_count else 0.0,
+            ndv=ndv,
+            min_value=ordered[0] if ordered else None,
+            max_value=ordered[-1] if ordered else None,
+            mcv=mcv,
+        )
+    return TableStats(row_count, columns)

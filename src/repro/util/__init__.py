@@ -1,0 +1,29 @@
+"""Shared utilities: error hierarchy, deterministic RNG helpers, timing."""
+
+from repro.util.errors import (
+    BindingError,
+    BufferPoolError,
+    CatalogError,
+    ExecutionError,
+    PlaceholderError,
+    PlanError,
+    ReproError,
+    SqlSyntaxError,
+    StorageError,
+    TypeMismatchError,
+    VirtualTableError,
+)
+
+__all__ = [
+    "BindingError",
+    "BufferPoolError",
+    "CatalogError",
+    "ExecutionError",
+    "PlaceholderError",
+    "PlanError",
+    "ReproError",
+    "SqlSyntaxError",
+    "StorageError",
+    "TypeMismatchError",
+    "VirtualTableError",
+]

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the WSQ/DSQ reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class at the API boundary.  Sub-hierarchies mirror
+the architectural layers: storage, SQL front end, planning, execution, and
+the virtual-table / asynchronous-iteration machinery.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures (pages, files, buffer pool)."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse: no evictable frame, unpinning an unpinned page."""
+
+
+class CatalogError(StorageError):
+    """Unknown or duplicate table/column, schema mismatch on load."""
+
+
+class SqlSyntaxError(ReproError):
+    """Lexical or grammatical error in a SQL string.
+
+    Carries the offending position so REPL users get a caret diagnostic.
+    """
+
+    def __init__(self, message, position=None, text=None):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+    def diagnostic(self):
+        """Return a multi-line message with a caret under the error site."""
+        if self.position is None or self.text is None:
+            return str(self)
+        line_start = self.text.rfind("\n", 0, self.position) + 1
+        line_end = self.text.find("\n", self.position)
+        if line_end == -1:
+            line_end = len(self.text)
+        caret = " " * (self.position - line_start) + "^"
+        return "{}\n{}\n{}".format(self, self.text[line_start:line_end], caret)
+
+
+class PlanError(ReproError):
+    """Planner failure: unresolvable name, ambiguous column, bad plan shape."""
+
+
+class BindingError(PlanError):
+    """A virtual table's input columns cannot be bound.
+
+    Raised when ``SearchExp``/``T1..Tn`` of a virtual table are not supplied
+    by constants or by tables earlier in the join order (the paper's
+    Section 3.2 "Informix problem").
+    """
+
+
+class TypeMismatchError(PlanError):
+    """An expression combines incompatible value types."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure inside a query-plan iterator."""
+
+
+class PlaceholderError(ExecutionError):
+    """An operator touched a placeholder value it must not depend on.
+
+    This always indicates a plan-rewrite bug: the ReqSync percolation rules
+    (Section 4.5.2) are supposed to keep value-dependent operators above the
+    ReqSync that fills the placeholder in.
+    """
+
+
+class VirtualTableError(ReproError):
+    """A virtual-table implementation rejected its inputs."""

@@ -1,0 +1,40 @@
+"""Deterministic pseudo-randomness helpers.
+
+All stochastic behaviour in the reproduction (corpus generation, latency
+jitter, ranking tie-breaks) must be reproducible from a seed, so tests and
+benchmarks are stable across runs and machines.  These helpers derive
+independent, stable sub-streams from string keys, so adding a new consumer
+never perturbs an existing one.
+"""
+
+import hashlib
+import random
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(*parts):
+    """Return a stable 64-bit hash of the string representations of *parts*.
+
+    Unlike the built-in ``hash``, this does not vary across interpreter
+    invocations (no ``PYTHONHASHSEED`` sensitivity).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(str(part).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest(), "big") & _MASK64
+
+
+def derive_rng(seed, *keys):
+    """Return a ``random.Random`` seeded from *seed* and a key path.
+
+    Two call sites with different key paths get statistically independent
+    streams; the same path always yields the same stream.
+    """
+    return random.Random(stable_hash(seed, *keys))
+
+
+def stable_uniform(seed, *keys):
+    """Return a deterministic float in [0, 1) keyed by *seed* and *keys*."""
+    return stable_hash(seed, *keys) / float(1 << 64)

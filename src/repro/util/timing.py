@@ -1,0 +1,39 @@
+"""Small timing helpers used by the benchmark harness and examples."""
+
+import time
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulates wall-clock time across repeated start/stop cycles."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def start(self):
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self):
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    @contextmanager
+    def measure(self):
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+def time_call(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,46 @@
+"""EVScan: the blocking external virtual-table scan.
+
+This is the paper's Figure-2 operator: each ``open(bindings)`` issues one
+external call *synchronously* — the query processor idles for the whole
+round trip — then iterates the materialized result rows.  Asynchronous
+iteration replaces it with :class:`~repro.asynciter.aevscan.AEVScan`.
+"""
+
+from repro.exec.operator import Operator
+from repro.util.errors import ExecutionError
+
+
+class EVScan(Operator):
+    """Sequential scan of one virtual-table instance."""
+
+    def __init__(self, instance):
+        self.instance = instance
+        self.schema = instance.schema
+        self.children = ()
+        self._rows = None
+        self._position = 0
+        self.calls_issued = 0
+
+    def open(self, bindings=None):
+        resolved = self.instance.resolve_bindings(bindings)
+        call = self.instance.make_call(resolved)
+        self.calls_issued += 1
+        result_rows = call.execute_sync()
+        self._rows = self.instance.complete_rows(resolved, result_rows)
+        self._position = 0
+
+    def next(self):
+        if self._rows is None:
+            raise ExecutionError("EVScan.next() before open()")
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def close(self):
+        self._rows = None
+        self._position = 0
+
+    def label(self):
+        return "EVScan: {}".format(self.instance.describe())

@@ -1,0 +1,52 @@
+"""Search-result caching.
+
+The paper notes (citing Hellerstein & Naughton [HN96]) that caching is
+"very important" for plans that would otherwise re-issue identical
+external calls — e.g. its Figure 7 plan sends |R| identical searches per
+Sig.  :class:`ResultCache` memoizes completed calls by
+``(engine, kind, expression, limit)`` with optional capacity (LRU) and
+hit/miss statistics, and is shared by the synchronous client and the
+request pump so both execution modes benefit equally.
+"""
+
+from collections import OrderedDict
+
+
+class ResultCache:
+    """A bounded LRU cache for search-engine responses."""
+
+    def __init__(self, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be positive (or None)")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(engine_name, kind, expr_text, limit=None):
+        return (engine_name, kind, expr_text, limit)
+
+    def get(self, key):
+        """Return the cached value or ``None`` (misses are counted)."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value):
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}

@@ -1,0 +1,264 @@
+"""Corpus calibration: what the synthetic Web must contain.
+
+This module turns the dataset calibration targets into *document recipes*:
+exact numbers of pages mentioning each entity and each entity/keyword
+co-occurrence.  Because recipes are counted (not sampled), the realized
+hit counts equal their targets exactly, so the paper's published result
+shapes — Query 1's top five states, Query 2's per-capita ordering, Query
+3's four-corners dropoff, Query 4's six capital/state inversions, the
+Sigs-near-Knuth order — are reproduced deterministically.
+
+Scaling: state and capital targets are real 1999 Web counts (millions);
+dividing by ``count_scale`` turns them into corpus-sized page counts while
+preserving every ratio.  NEAR co-occurrence targets (paper scale ~10³) are
+divided by ``near_scale``.  SIG/field/movie targets are already page-sized
+and are used unscaled.
+"""
+
+from repro.datasets.csfields import CS_FIELDS
+from repro.datasets.movies import MOVIES
+from repro.datasets.sigs import SIGS
+from repro.datasets.states import STATES
+from repro.util.rng import stable_hash, stable_uniform
+from repro.web.tokenizer import phrase_tokens
+
+# Keyword pool for the Table-1 template benchmarks (paper Section 5 lists
+# "computer", "beaches", "crime", "politics", "frogs", ...).
+TEMPLATE_KEYWORD_POOL = [
+    "computer", "beaches", "crime", "politics", "frogs", "skiing",
+    "music", "weather", "history", "football", "lakes", "mountains",
+    "desert", "technology", "tourism", "farming",
+]
+
+# Query 3 targets: pages mentioning the state NEAR "four corners".
+# Anchored to the paper's results, including the sharp dropoff after Utah.
+FOUR_CORNERS_NEAR = {
+    "Colorado": 1745,
+    "New Mexico": 1249,
+    "Arizona": 1095,
+    "Utah": 994,
+    "California": 215,
+    "Nevada": 40,
+    "Texas": 32,
+    "Wyoming": 16,
+}
+
+# DSQ scenario: pages mentioning a state NEAR "scuba diving" (page counts).
+SCUBA_STATES = {
+    "Florida": 40,
+    "Hawaii": 35,
+    "California": 30,
+    "Texas": 8,
+    "North Carolina": 6,
+    "New Jersey": 5,
+    "Washington": 5,
+}
+
+# DSQ triples: pages mentioning state AND movie, both NEAR "scuba diving".
+SCUBA_TRIPLES = [
+    ("Florida", "Deep Blue Reef", 10),
+    ("California", "The Abyss", 6),
+]
+
+# How many extra pages mention a keyword alone (so keyword-only searches
+# return something).
+KEYWORD_ONLY_PAGES = 25
+
+STATE_CODES = {
+    "Alabama": "al", "Alaska": "ak", "Arizona": "az", "Arkansas": "ar",
+    "California": "ca", "Colorado": "co", "Connecticut": "ct",
+    "Delaware": "de", "Florida": "fl", "Georgia": "ga", "Hawaii": "hi",
+    "Idaho": "id", "Illinois": "il", "Indiana": "in", "Iowa": "ia",
+    "Kansas": "ks", "Kentucky": "ky", "Louisiana": "la", "Maine": "me",
+    "Maryland": "md", "Massachusetts": "ma", "Michigan": "mi",
+    "Minnesota": "mn", "Mississippi": "ms", "Missouri": "mo",
+    "Montana": "mt", "Nebraska": "ne", "Nevada": "nv",
+    "New Hampshire": "nh", "New Jersey": "nj", "New Mexico": "nm",
+    "New York": "ny", "North Carolina": "nc", "North Dakota": "nd",
+    "Ohio": "oh", "Oklahoma": "ok", "Oregon": "or", "Pennsylvania": "pa",
+    "Rhode Island": "ri", "South Carolina": "sc", "South Dakota": "sd",
+    "Tennessee": "tn", "Texas": "tx", "Utah": "ut", "Vermont": "vt",
+    "Virginia": "va", "Washington": "wa", "West Virginia": "wv",
+    "Wisconsin": "wi", "Wyoming": "wy",
+}
+
+
+class DocRecipe:
+    """Plan for one synthetic page.
+
+    ``mentions`` is an ordered list of phrases the page must contain;
+    ``near_chain`` marks that each adjacent mention pair must fall within
+    the NEAR window.  ``kind``/``primary`` drive URL and authority
+    assignment.
+    """
+
+    __slots__ = ("kind", "primary", "mentions", "near_chain", "official")
+
+    def __init__(self, kind, primary, mentions, near_chain=False, official=False):
+        self.kind = kind
+        self.primary = primary
+        self.mentions = [str(m) for m in mentions]
+        self.near_chain = near_chain
+        self.official = official
+
+    def __repr__(self):
+        glue = " NEAR " if self.near_chain else " + "
+        return "DocRecipe({}: {})".format(self.kind, glue.join(self.mentions))
+
+
+def template_keyword_targets(seed):
+    """Deterministic (keyword, state) NEAR page counts for the benchmarks.
+
+    Each keyword co-occurs with a keyword-specific subset of states; counts
+    are stable functions of the seed so repeated builds agree.
+    """
+    targets = {}
+    state_names = [s.name for s in STATES]
+    for keyword in TEMPLATE_KEYWORD_POOL:
+        for state in state_names:
+            # ~25% of (keyword, state) pairs co-occur at all.  Kept sparse
+            # and small so keyword pages never dominate a small state's
+            # total page count (which would distort the Query 2 ratios).
+            if stable_uniform(seed, "kwsel", keyword, state) < 0.25:
+                count = 1 + int(stable_uniform(seed, "kwcount", keyword, state) * 8)
+                targets[(keyword, state)] = count
+    return targets
+
+
+class _MentionTally:
+    """Counts scheduled pages per phrase, including sub-phrase containment.
+
+    A page mentioning "West Virginia" also matches a search for
+    "Virginia", and a page mentioning "Oklahoma City" matches "Oklahoma";
+    the tally accounts for that so entity page deficits come out exact.
+    """
+
+    def __init__(self):
+        self._mention_counts = {}  # token tuple -> number of pages
+
+    def add_recipe(self, recipe):
+        # A page counts once per distinct mention phrase it contains.
+        for tokens in {tuple(phrase_tokens(m)) for m in recipe.mentions}:
+            self._mention_counts[tokens] = self._mention_counts.get(tokens, 0) + 1
+
+    def pages_matching(self, phrase):
+        """Upper-bound count of scheduled pages containing *phrase*.
+
+        Counts pages whose mention set includes a phrase containing
+        *phrase* as a contiguous sub-sequence.  (A page with two distinct
+        matching mentions is counted twice; calibration keeps mention sets
+        disjoint enough that this does not occur.)
+        """
+        target = tuple(phrase_tokens(phrase))
+        total = 0
+        for tokens, count in self._mention_counts.items():
+            if _contains_subsequence(tokens, target):
+                total += count
+        return total
+
+
+def _contains_subsequence(haystack, needle):
+    if len(needle) > len(haystack):
+        return False
+    span = len(needle)
+    return any(
+        haystack[i : i + span] == needle for i in range(len(haystack) - span + 1)
+    )
+
+
+def build_recipes(config):
+    """Produce the full recipe list for a :class:`CorpusConfig`."""
+    recipes = []
+    tally = _MentionTally()
+
+    def schedule(recipe):
+        recipes.append(recipe)
+        tally.add_recipe(recipe)
+
+    def schedule_entity_pages(kind, name, target_pages, official_first=False):
+        deficit = target_pages - tally.pages_matching(name)
+        for i in range(max(0, deficit)):
+            schedule(
+                DocRecipe(kind, name, [name], official=(official_first and i == 0))
+            )
+
+    # 1. Co-occurrence pages (fixed counts; they also mention their entity).
+    for state, target in FOUR_CORNERS_NEAR.items():
+        for _ in range(max(1, round(target / config.near_scale))):
+            schedule(DocRecipe("state", state, [state, "four corners"], near_chain=True))
+    for sig in SIGS:
+        for _ in range(sig.knuth_weight):
+            schedule(DocRecipe("sig", sig.name, [sig.name, "Knuth"], near_chain=True))
+    for (keyword, state), count in sorted(template_keyword_targets(config.seed).items()):
+        for _ in range(count):
+            schedule(DocRecipe("state", state, [state, keyword], near_chain=True))
+    for state, count in SCUBA_STATES.items():
+        for _ in range(count):
+            schedule(DocRecipe("state", state, [state, "scuba diving"], near_chain=True))
+    for state, movie, count in SCUBA_TRIPLES:
+        for _ in range(count):
+            schedule(
+                DocRecipe(
+                    "movie", movie, [state, "scuba diving", movie], near_chain=True
+                )
+            )
+    for movie in MOVIES:
+        for _ in range(movie.scuba_weight):
+            schedule(
+                DocRecipe("movie", movie.title, [movie.title, "scuba diving"], near_chain=True)
+            )
+    for field in CS_FIELDS:
+        if field.sig_affinity:
+            for _ in range(field.affinity_weight):
+                schedule(
+                    DocRecipe(
+                        "field", field.name, [field.sig_affinity, field.name], near_chain=True
+                    )
+                )
+    for keyword in TEMPLATE_KEYWORD_POOL + ["Knuth", "four corners", "scuba diving"]:
+        for _ in range(KEYWORD_ONLY_PAGES):
+            schedule(DocRecipe("keyword", keyword, [keyword]))
+
+    # 2. Entity pages, topped up to their calibration targets.
+    for sig in SIGS:
+        schedule_entity_pages("sig", sig.name, sig.web_weight, official_first=True)
+    for field in CS_FIELDS:
+        schedule_entity_pages("field", field.name, field.web_weight)
+    for movie in MOVIES:
+        schedule_entity_pages("movie", movie.title, movie.web_weight, official_first=True)
+    for state in STATES:
+        schedule_entity_pages(
+            "capital",
+            state.capital,
+            max(1, round(state.capital_web_weight / config.count_scale)),
+        )
+    # States last: their deficits net out capital pages ("Oklahoma City"
+    # contains "Oklahoma"), sibling states ("West Virginia" contains
+    # "Virginia"), and every keyword co-occurrence page scheduled above.
+    # Longer names first, so "West Virginia" is scheduled before "Virginia"
+    # and the containment deduction sees it.
+    for state in sorted(
+        STATES, key=lambda s: (-len(phrase_tokens(s.name)), s.name)
+    ):
+        schedule_entity_pages(
+            "state",
+            state.name,
+            max(1, round(state.web_weight / config.count_scale)),
+            official_first=True,
+        )
+
+    # 3. Background noise pages.
+    for i in range(config.background_docs):
+        schedule(DocRecipe("background", None, []))
+
+    return recipes
+
+
+def stable_shuffle(items, seed, label):
+    """Deterministically permute *items* (independent of build order)."""
+    return [
+        item
+        for _, item in sorted(
+            (stable_hash(seed, label, i), item) for i, item in enumerate(items)
+        )
+    ]

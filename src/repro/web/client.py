@@ -1,0 +1,120 @@
+"""Clients that add latency (and caching) in front of a search engine.
+
+The engine computes answers instantly; the client charges the simulated
+network delay.  Synchronous calls block the calling thread (this is the
+paper's sequential baseline, where "the query processor is idle during the
+request"); asynchronous calls ``await`` the same delay, so many can be in
+flight at once on one event loop — the request-pump side.
+
+A cache hit skips the delay entirely, modelling a local result cache that
+avoids the network round trip.
+"""
+
+import asyncio
+import time
+
+from repro.web.cache import ResultCache
+
+
+class SearchClient:
+    """Latency-charging, optionally caching access to one engine.
+
+    ``page_size`` models result pagination: engines of the era returned
+    ~10 hits per response, so "retrieving all URLs for a given search
+    expression could be extremely expensive (requiring many additional
+    network requests beyond the initial search)" (paper Section 3).  A
+    ranked search for *limit* hits costs ``ceil(limit / page_size)``
+    sequential round trips; counts cost one.
+    """
+
+    def __init__(self, engine, latency=None, cache=None, page_size=10):
+        if page_size < 1:
+            raise ValueError("page size must be positive")
+        self.engine = engine
+        self.latency = latency
+        self.cache = cache
+        self.page_size = page_size
+        self.requests_sent = 0  # actual (non-cache-hit) requests
+
+    @property
+    def name(self):
+        return self.engine.name
+
+    # -- synchronous (sequential query processing) ---------------------------
+
+    def count(self, expr_text):
+        key = ResultCache.key(self.engine.name, "count", expr_text)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        self._sleep(expr_text)
+        result = self.engine.count(expr_text)
+        self._cache_put(key, result)
+        return result
+
+    def search(self, expr_text, limit):
+        key = ResultCache.key(self.engine.name, "search", expr_text, limit)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        for _ in range(self._pages_for(limit)):
+            self._sleep(expr_text)
+        result = self.engine.search(expr_text, limit)
+        self._cache_put(key, result)
+        return result
+
+    # -- asynchronous (request pump) -------------------------------------------
+
+    async def count_async(self, expr_text):
+        key = ResultCache.key(self.engine.name, "count", expr_text)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        await self._async_sleep(expr_text)
+        result = self.engine.count(expr_text)
+        self._cache_put(key, result)
+        return result
+
+    async def search_async(self, expr_text, limit):
+        key = ResultCache.key(self.engine.name, "search", expr_text, limit)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        # Result pages arrive sequentially even on the async path: page
+        # k+1 cannot be requested before page k's response names it.
+        for _ in range(self._pages_for(limit)):
+            await self._async_sleep(expr_text)
+        result = self.engine.search(expr_text, limit)
+        self._cache_put(key, result)
+        return result
+
+    def _pages_for(self, limit):
+        return max(1, -(-limit // self.page_size))  # ceil, at least one page
+
+    # -- internals ----------------------------------------------------------------
+
+    def _delay(self, expr_text):
+        if self.latency is None:
+            return 0.0
+        return self.latency.delay(self.engine.name, expr_text)
+
+    def _sleep(self, expr_text):
+        self.requests_sent += 1
+        delay = self._delay(expr_text)
+        if delay > 0:
+            time.sleep(delay)
+
+    async def _async_sleep(self, expr_text):
+        self.requests_sent += 1
+        delay = self._delay(expr_text)
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    def _cache_get(self, key):
+        if self.cache is None:
+            return None
+        return self.cache.get(key)
+
+    def _cache_put(self, key, value):
+        if self.cache is not None:
+            self.cache.put(key, value)

@@ -1,0 +1,108 @@
+"""The search-engine abstraction WSQ's virtual tables sit on.
+
+A :class:`SearchEngine` answers exactly the two questions the paper's
+virtual tables ask:
+
+- ``count(expr)`` — how many pages match (``WebCount``); "many Web search
+  engines can return a total number of pages immediately, without
+  delivering the actual URLs".
+- ``search(expr, limit)`` — the top-*limit* ranked hits (``WebPages``),
+  each a ``(URL, Rank, Date)`` triple.
+
+The engine itself is instantaneous; latency is applied by the client layer
+(:mod:`repro.web.client`), mirroring how network time, not index time,
+dominated real engines.
+"""
+
+from repro.util.errors import VirtualTableError
+from repro.web.index import DEFAULT_NEAR_WINDOW
+from repro.web.searchexpr import parse_search_expression
+
+
+class SearchHit:
+    """One ranked search result."""
+
+    __slots__ = ("url", "rank", "date")
+
+    def __init__(self, url, rank, date):
+        self.url = url
+        self.rank = rank
+        self.date = date
+
+    def __repr__(self):
+        return "SearchHit(#{} {})".format(self.rank, self.url)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SearchHit)
+            and self.url == other.url
+            and self.rank == other.rank
+            and self.date == other.date
+        )
+
+    def __hash__(self):
+        return hash((self.url, self.rank, self.date))
+
+
+class SearchEngine:
+    """A keyword search engine over one corpus with one ranking function."""
+
+    def __init__(
+        self,
+        name,
+        corpus,
+        ranking,
+        supports_near=True,
+        near_window=DEFAULT_NEAR_WINDOW,
+    ):
+        self.name = name
+        self.corpus = corpus
+        self.ranking = ranking
+        self.supports_near = supports_near
+        self.near_window = near_window
+        self.count_queries = 0
+        self.search_queries = 0
+
+    def parse(self, expr_text):
+        expression = parse_search_expression(expr_text)
+        if expression.has_near() and not self.supports_near:
+            raise VirtualTableError(
+                "engine {!r} does not support the 'near' operator".format(self.name)
+            )
+        return expression
+
+    def count(self, expr_text):
+        """Total number of matching pages for *expr_text*."""
+        self.count_queries += 1
+        expression = self.parse(expr_text)
+        return self.corpus.index.count(expression, self.near_window)
+
+    def search(self, expr_text, limit):
+        """Top-*limit* hits for *expr_text*, rank 1 first."""
+        if limit < 0:
+            raise VirtualTableError("search limit must be non-negative")
+        self.search_queries += 1
+        expression = self.parse(expr_text)
+        index = self.corpus.index
+        doc_ids = index.matching_documents(expression, self.near_window)
+        # Phrase occurrences are computed once per query (not per candidate
+        # document) so scoring stays linear in the number of matches.
+        occurrence_maps = [index.phrase_occurrences(p) for p in expression.phrases]
+        scored = []
+        for doc_id in doc_ids:
+            doc = self.corpus.document(doc_id)
+            tf = sum(len(occ.get(doc_id, ())) for occ in occurrence_maps)
+            # Negated score + URL gives ascending sort a deterministic
+            # best-first order with a stable tiebreak.
+            scored.append((-self.ranking(doc, tf), doc.url, doc))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [
+            SearchHit(doc.url, rank, doc.date)
+            for rank, (_, _, doc) in enumerate(scored[:limit], start=1)
+        ]
+
+    def stats(self):
+        return {"count_queries": self.count_queries, "search_queries": self.search_queries}
+
+    def __repr__(self):
+        return "SearchEngine({})".format(self.name)

@@ -1,0 +1,42 @@
+"""Ranking functions for the simulated engines.
+
+The two engines index the same corpus but rank differently, which is what
+makes the paper's Query 6 interesting (AltaVista and Google agreed on only
+4 of the states' top-5 URLs):
+
+- :func:`av_ranking` — term-frequency and recency driven, 1990s AltaVista
+  style.
+- :func:`google_ranking` — dominated by the page's authority score, a
+  stand-in for link-based PageRank.
+
+Both add a small URL-keyed deterministic jitter so ties break stably but
+differently per engine.
+"""
+
+import datetime
+
+from repro.util.rng import stable_uniform
+
+_EPOCH = datetime.date(1996, 1, 1)
+_SPAN_DAYS = 1460.0
+
+
+def _recency(date_str):
+    date = datetime.date.fromisoformat(date_str)
+    return max(0.0, (date - _EPOCH).days / _SPAN_DAYS)
+
+
+def av_ranking(doc, tf):
+    """AltaVista-style score: term frequency, freshness, small jitter.
+
+    *tf* is the total number of query-phrase occurrences in the page,
+    precomputed once per query by the engine.
+    """
+    jitter = stable_uniform("av-jitter", doc.url)
+    return 1.0 * tf + 1.2 * _recency(doc.date) + 1.5 * jitter
+
+
+def google_ranking(doc, tf):
+    """Google-style score: authority-dominant with a term-frequency tiebreak."""
+    jitter = stable_uniform("g-jitter", doc.url)
+    return 10.0 * doc.authority + 0.05 * tf + 1.2 * jitter

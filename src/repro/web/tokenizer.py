@@ -1,0 +1,20 @@
+"""Tokenization shared by the indexer and the query parser.
+
+Tokens are lowercase runs of letters/digits; everything else separates.
+No stemming and no stopword removal — "alien" and "aliens" are different
+terms, which the calibration relies on.
+"""
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text):
+    """Split *text* into lowercase tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def phrase_tokens(phrase):
+    """Tokenize a phrase operand; empty phrases are rejected upstream."""
+    return tokenize(phrase)

@@ -1,0 +1,54 @@
+"""The assembled simulated Web: one corpus, two engines, a fetch service.
+
+``default_web()`` returns a process-wide cached instance built from the
+default calibrated configuration — tests and benchmarks share it so the
+(one-time) corpus build cost is paid once.
+"""
+
+from repro.web.corpus import CorpusConfig, build_corpus
+from repro.web.engine import SearchEngine
+from repro.web.fetch import FetchService
+from repro.web.ranking import av_ranking, google_ranking
+
+AV = "AV"
+GOOGLE = "Google"
+
+
+class SimulatedWeb:
+    """Bundle of the corpus and the services WSQ talks to."""
+
+    def __init__(self, config=None, corpus=None):
+        self.config = config or CorpusConfig()
+        self.corpus = corpus if corpus is not None else build_corpus(self.config)
+        # AltaVista supports `near`; Google of the era did not (paper fn. 1).
+        self.engines = {
+            AV: SearchEngine(AV, self.corpus, av_ranking, supports_near=True),
+            GOOGLE: SearchEngine(
+                GOOGLE, self.corpus, google_ranking, supports_near=False
+            ),
+        }
+
+    def engine(self, name):
+        try:
+            return self.engines[name]
+        except KeyError:
+            raise KeyError(
+                "unknown engine {!r} (have: {})".format(name, sorted(self.engines))
+            )
+
+    def engine_names(self):
+        return sorted(self.engines)
+
+    def fetch_service(self, latency=None, cache=None):
+        return FetchService(self.corpus, latency=latency, cache=cache)
+
+
+_DEFAULT_WEB = None
+
+
+def default_web():
+    """The shared, lazily built default simulated Web."""
+    global _DEFAULT_WEB
+    if _DEFAULT_WEB is None:
+        _DEFAULT_WEB = SimulatedWeb()
+    return _DEFAULT_WEB

@@ -1,0 +1,296 @@
+"""The WSQ engine facade."""
+
+import time
+
+from repro.asynciter.context import AsyncContext
+from repro.asynciter.pump import default_pump
+from repro.asynciter.rewrite import RewriteSettings, apply_asynchronous_iteration
+from repro.exec.operator import execute
+from repro.plan.planner import Planner, PlannerOptions
+from repro.sql import ast
+from repro.sql.parser import parse, parse_select
+from repro.storage.database import Database
+from repro.util.errors import PlanError
+from repro.vtables.webcount import WebCountDef
+from repro.vtables.webfetch import WebFetchDef, WebLinksDef
+from repro.vtables.webpages import WebPagesDef
+from repro.web.client import SearchClient
+from repro.web.world import default_web
+from repro.wsq.result import QueryResult
+
+SYNC = "sync"
+ASYNC = "async"
+AUTO = "auto"
+
+
+class WsqEngine:
+    """A WSQ instance: local database + Web search virtual tables.
+
+    Parameters
+    ----------
+    database:
+        The local :class:`~repro.storage.database.Database` (a fresh
+        in-memory one by default).
+    web:
+        A :class:`~repro.web.world.SimulatedWeb`; defaults to the shared
+        calibrated instance.
+    latency:
+        A :class:`~repro.web.latency.LatencyModel` applied to every
+        search/fetch (``None`` = instantaneous, for tests).
+    cache:
+        Optional :class:`~repro.web.cache.ResultCache`, shared by the
+        sync and async paths.
+    pump:
+        A :class:`~repro.asynciter.pump.RequestPump` (defaults to the
+        process-wide one).
+    planner_options / rewrite_settings:
+        Pass-through knobs for planning and ReqSync placement.
+
+    For every engine name ``E`` the catalog has ``WebCount_E`` and
+    ``WebPages_E``; the first engine (alphabetically) also provides plain
+    ``WebCount``/``WebPages``.  ``WebFetch``/``WebLinks`` cover the
+    crawler scenario.
+    """
+
+    def __init__(
+        self,
+        database=None,
+        web=None,
+        latency=None,
+        cache=None,
+        pump=None,
+        planner_options=None,
+        rewrite_settings=None,
+        dedup_calls=True,
+        cost_model=None,
+    ):
+        self.database = database if database is not None else Database()
+        self.web = web if web is not None else default_web()
+        self.latency = latency
+        self.cache = cache
+        self.pump = pump or default_pump()
+        self.dedup_calls = dedup_calls
+        self.cost_model = cost_model
+        self.planner_options = planner_options or PlannerOptions()
+        self.rewrite_settings = rewrite_settings or RewriteSettings()
+        self.clients = {
+            name: SearchClient(self.web.engine(name), latency=latency, cache=cache)
+            for name in self.web.engine_names()
+        }
+        self.fetch_service = self.web.fetch_service(latency=latency, cache=cache)
+        self.vtables = self._build_catalog()
+        self._planner = Planner(
+            self.database, self.vtables, options=self.planner_options
+        )
+
+    def _build_catalog(self):
+        catalog = {}
+        names = sorted(self.clients)
+        for engine_name in names:
+            client = self.clients[engine_name]
+            catalog["WebCount_{}".format(engine_name)] = WebCountDef(
+                "WebCount_{}".format(engine_name), client
+            )
+            catalog["WebPages_{}".format(engine_name)] = WebPagesDef(
+                "WebPages_{}".format(engine_name), client
+            )
+        default_client = self.clients[names[0]]
+        catalog["WebCount"] = WebCountDef("WebCount", default_client)
+        catalog["WebPages"] = WebPagesDef("WebPages", default_client)
+        catalog["WebFetch"] = WebFetchDef("WebFetch", self.fetch_service)
+        catalog["WebLinks"] = WebLinksDef("WebLinks", self.fetch_service)
+        return catalog
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, sql, mode=ASYNC):
+        """Build (and for async mode, rewrite) the plan for *sql*.
+
+        ``mode="auto"`` applies asynchronous iteration exactly when the
+        plan contains external virtual-table scans (optionally arbitrated
+        by a :class:`~repro.plan.cost.CostModel` passed as
+        ``self.cost_model``): local-only queries skip the rewrite.
+        """
+        query = parse_select(sql)
+        plan = self._planner.plan(query)
+        mode = self._resolve_mode(plan, mode)
+        if mode == SYNC:
+            return plan
+        context = AsyncContext(self.pump, dedup=self.dedup_calls)
+        return apply_asynchronous_iteration(plan, context, self.rewrite_settings)
+
+    def _resolve_mode(self, sync_plan, mode):
+        """Resolve ``auto`` against the (still-synchronous) plan.
+
+        Local-only queries stay sequential — the rewrite buys nothing and
+        the ReqSync machinery is pure overhead.  Plans with external scans
+        go asynchronous; with a :class:`~repro.plan.cost.CostModel`
+        attached, only when the model expects the rewrite to pay off
+        (it essentially always does once a call exists, but a zero-latency
+        model with per-call overhead can disagree).
+        """
+        if mode in (SYNC, ASYNC):
+            return mode
+        if mode != AUTO:
+            raise PlanError("unknown execution mode {!r}".format(mode))
+        if not _has_external_scan(sync_plan):
+            return SYNC
+        if self.cost_model is not None:
+            sync_estimate = self.cost_model.estimate(sync_plan)
+            sync_seconds = self.cost_model.seconds(sync_plan)
+            # Model the consolidated rewrite without building it: the same
+            # calls collapse into one blocking wave plus patch work.
+            async_seconds = (
+                sync_seconds
+                - sync_estimate.waves * self.cost_model.latency_mean
+                + 1.0 * self.cost_model.latency_mean
+                + sync_estimate.rows * self.cost_model.cpu_per_patch
+            )
+            return ASYNC if async_seconds < sync_seconds else SYNC
+        return ASYNC
+
+    def explain(self, sql, mode=ASYNC):
+        """The plan tree as text (Figure-2/3 style)."""
+        return self.plan(sql, mode).explain()
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(self, sql, mode=ASYNC):
+        """Run a SELECT and materialize its result."""
+        query = parse_select(sql)
+        plan = self._planner.plan(query)
+        mode = self._resolve_mode(plan, mode)
+        if mode == ASYNC:
+            context = AsyncContext(self.pump, dedup=self.dedup_calls)
+            plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
+        started = time.perf_counter()
+        rows = list(execute(plan))
+        elapsed = time.perf_counter() - started
+        return QueryResult(plan.schema.names(), rows, elapsed=elapsed)
+
+    def run(self, statement_sql, mode=ASYNC):
+        """Execute any supported statement (SELECT or DDL/DML)."""
+        statement = parse(statement_sql)
+        if isinstance(statement, ast.SelectQuery):
+            plan = self._planner.plan(statement)
+            mode = self._resolve_mode(plan, mode)
+            if mode == ASYNC:
+                context = AsyncContext(self.pump, dedup=self.dedup_calls)
+                plan = apply_asynchronous_iteration(
+                    plan, context, self.rewrite_settings
+                )
+            started = time.perf_counter()
+            rows = list(execute(plan))
+            elapsed = time.perf_counter() - started
+            return QueryResult(plan.schema.names(), rows, elapsed=elapsed)
+        if isinstance(statement, ast.Analyze):
+            stats = self.database.analyze(statement.table)
+            return QueryResult(
+                ["table", "rows", "columns"],
+                [
+                    (name, table_stats.row_count, len(table_stats.columns))
+                    for name, table_stats in sorted(stats.items())
+                ],
+            )
+        if isinstance(statement, ast.CreateTable):
+            self.database.create_table(statement.table, statement.columns)
+            return QueryResult(["status"], [("created {}".format(statement.table),)])
+        if isinstance(statement, ast.CreateIndex):
+            self.database.create_index(
+                statement.table, statement.column, statement.name
+            )
+            return QueryResult(
+                ["status"], [("created index {}".format(statement.name),)]
+            )
+        if isinstance(statement, ast.DropIndex):
+            self.database.drop_index(statement.name)
+            return QueryResult(
+                ["status"], [("dropped index {}".format(statement.name),)]
+            )
+        if isinstance(statement, ast.DropTable):
+            self.database.drop_table(statement.table)
+            return QueryResult(["status"], [("dropped {}".format(statement.table),)])
+        if isinstance(statement, ast.Insert):
+            table = self.database.table(statement.table)
+            table.insert_many(statement.rows)
+            return QueryResult(
+                ["status"], [("inserted {} rows".format(len(statement.rows)),)]
+            )
+        if isinstance(statement, ast.Delete):
+            table = self.database.table(statement.table)
+            if statement.where is None:
+                count = table.delete_where(lambda row: True)
+            else:
+                from repro.plan.binder import Binder
+
+                predicate = Binder(
+                    table.schema.with_qualifier(statement.table)
+                ).bind(statement.where)
+                count = table.delete_where(lambda row: predicate.eval(row) is True)
+            return QueryResult(["status"], [("deleted {} rows".format(count),)])
+        raise PlanError("unsupported statement {!r}".format(statement))
+
+    # -- profiling --------------------------------------------------------------
+
+    def profile(self, sql, mode=ASYNC):
+        """Execute *sql* with per-operator instrumentation.
+
+        Returns a :class:`~repro.wsq.profile.ProfileReport` carrying the
+        query result, per-operator row/time counters, and engine-level
+        deltas (requests sent, cache hits, dedup savings).
+        """
+        from repro.wsq.profile import ProfileReport, profile_plan
+
+        query = parse_select(sql)
+        plan = self._planner.plan(query)
+        mode = self._resolve_mode(plan, mode)
+        context = None
+        if mode == ASYNC:
+            context = AsyncContext(self.pump, dedup=self.dedup_calls)
+            plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
+        wrapped, stats = profile_plan(plan)
+        requests_before = {
+            name: client.requests_sent for name, client in self.clients.items()
+        }
+        cache_hits_before = self.cache.hits if self.cache is not None else 0
+        started = time.perf_counter()
+        rows = list(execute(wrapped))
+        elapsed = time.perf_counter() - started
+        result = QueryResult(plan.schema.names(), rows, elapsed=elapsed)
+        deltas = {
+            "requests[{}]".format(name): client.requests_sent
+            - requests_before[name]
+            for name, client in self.clients.items()
+        }
+        if self.cache is not None:
+            deltas["cache_hits"] = self.cache.hits - cache_hits_before
+        if context is not None:
+            deltas["dedup_hits"] = context.dedup_hits
+            deltas["calls_registered"] = context.calls_registered
+        return ProfileReport(sql, mode, result, stats, deltas)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self):
+        """Aggregate engine/pump/cache statistics."""
+        payload = {
+            "pump": self.pump.stats.snapshot(),
+            "engines": {
+                name: client.engine.stats() for name, client in self.clients.items()
+            },
+            "requests_sent": {
+                name: client.requests_sent for name, client in self.clients.items()
+            },
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return payload
+
+
+def _has_external_scan(plan):
+    """Does the (synchronous) plan contain any external virtual-table scan?"""
+    from repro.vtables.evscan import EVScan as _EVScan
+
+    if isinstance(plan, _EVScan):
+        return True
+    return any(_has_external_scan(child) for child in plan.children)

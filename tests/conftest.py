@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+The calibrated default corpus is expensive (~1s) and immutable, so it is
+built once per session and shared; engines over it are cheap.  Tests that
+need latency use tiny fixed delays so the whole suite stays fast.
+"""
+
+import pytest
+
+from repro.datasets import load_all
+from repro.storage import Database
+from repro.web.corpus import CorpusConfig, build_corpus
+from repro.web.world import SimulatedWeb, default_web
+from repro.wsq import WsqEngine
+
+
+@pytest.fixture(scope="session")
+def web():
+    """The shared calibrated simulated Web."""
+    return default_web()
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    """A small, fast corpus (uncalibrated orderings)."""
+    return SimulatedWeb(CorpusConfig.small())
+
+
+@pytest.fixture()
+def paper_db():
+    """Fresh in-memory database with all paper tables."""
+    return load_all(Database())
+
+
+@pytest.fixture()
+def engine(web, paper_db):
+    """WSQ engine over the calibrated web, zero latency."""
+    return WsqEngine(database=paper_db, web=web)
+
+
+@pytest.fixture()
+def small_engine(small_web, paper_db):
+    """WSQ engine over the small web, zero latency."""
+    return WsqEngine(database=paper_db, web=small_web)

@@ -1,0 +1,281 @@
+"""B+tree index: structure, duplicates, persistence, property-based model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.types import DataType
+from repro.storage.btree import BPlusTree, KeyCodec
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import RID
+from repro.util.errors import StorageError
+
+
+def make_tree(key_type=DataType.INT, capacity=64):
+    return BPlusTree(BufferPool(DiskManager(), capacity=capacity), key_type)
+
+
+class TestKeyCodec:
+    @pytest.mark.parametrize(
+        "data_type,key",
+        [
+            (DataType.INT, 42),
+            (DataType.INT, -(2**40)),
+            (DataType.FLOAT, 3.25),
+            (DataType.STR, "Wyoming"),
+            (DataType.STR, "üñí©ödé"),
+            (DataType.DATE, "1999-10-01"),
+        ],
+    )
+    def test_roundtrip(self, data_type, key):
+        codec = KeyCodec(data_type)
+        assert codec.decode(codec.encode(key)) == key
+
+    def test_bool_not_indexable(self):
+        with pytest.raises(StorageError):
+            KeyCodec(DataType.BOOL)
+
+    def test_null_key_rejected(self):
+        with pytest.raises(StorageError):
+            KeyCodec(DataType.INT).encode(None)
+
+
+class TestBasicOperations:
+    def test_insert_and_search(self):
+        tree = make_tree()
+        tree.insert(5, RID(1, 0))
+        assert tree.search(5) == [RID(1, 0)]
+        assert tree.search(6) == []
+
+    def test_null_keys_skipped(self):
+        tree = make_tree()
+        tree.insert(None, RID(1, 0))
+        assert tree.entry_count() == 0
+
+    def test_ordered_iteration(self):
+        tree = make_tree()
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for i, key in enumerate(keys):
+            tree.insert(key, RID(i, 0))
+        assert [k for k, _ in tree.scan_all()] == sorted(keys)
+
+    def test_range_scan_bounds(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(i, RID(i, 0))
+        assert [k for k, _ in tree.range_scan(10, 15)] == [10, 11, 12, 13, 14, 15]
+        assert [k for k, _ in tree.range_scan(10, 15, include_low=False)] == [
+            11, 12, 13, 14, 15,
+        ]
+        assert [k for k, _ in tree.range_scan(10, 15, include_high=False)] == [
+            10, 11, 12, 13, 14,
+        ]
+        assert [k for k, _ in tree.range_scan(None, 2)] == [0, 1, 2]
+        assert [k for k, _ in tree.range_scan(97, None)] == [97, 98, 99]
+
+    def test_grows_in_height(self):
+        tree = make_tree()
+        assert tree.height() == 1
+        for i in range(3000):
+            tree.insert(i, RID(i, 0))
+        assert tree.height() >= 2
+        assert tree.entry_count() == 3000
+
+    def test_string_keys_split_correctly(self):
+        tree = make_tree(DataType.STR)
+        words = ["key-{:05d}".format(i) for i in range(1500)]
+        shuffled = list(words)
+        random.Random(2).shuffle(shuffled)
+        for i, word in enumerate(shuffled):
+            tree.insert(word, RID(i, 0))
+        assert [k for k, _ in tree.scan_all()] == words
+
+    def test_delete_missing_returns_false(self):
+        tree = make_tree()
+        tree.insert(1, RID(0, 0))
+        assert not tree.delete(1, RID(9, 9))
+        assert not tree.delete(2, RID(0, 0))
+        assert tree.delete(1, RID(0, 0))
+
+
+class TestDuplicates:
+    def test_duplicates_across_leaf_splits(self):
+        """Split boundaries inside duplicate runs must not hide entries."""
+        tree = make_tree()
+        items = [(i % 7, RID(i, 0)) for i in range(4000)]
+        random.Random(3).shuffle(items)
+        for key, rid in items:
+            tree.insert(key, rid)
+        for key in range(7):
+            expected = sorted(r.page_id for k, r in items if k == key)
+            assert sorted(r.page_id for r in tree.search(key)) == expected
+
+    def test_delete_duplicate_in_later_leaf(self):
+        tree = make_tree()
+        for i in range(2000):
+            tree.insert(1, RID(i, 0))
+        assert tree.delete(1, RID(1999, 0))
+        assert len(tree.search(1)) == 1999
+
+
+class TestRebuild:
+    def test_bulk_rebuild(self):
+        tree = make_tree()
+        for i in range(500):
+            tree.insert(i, RID(i, 0))
+        for i in range(0, 500, 2):
+            tree.delete(i, RID(i, 0))
+        tree.bulk_rebuild((k, r) for k, r in tree.scan_all())
+        assert [k for k, _ in tree.scan_all()] == list(range(1, 500, 2))
+
+
+class TestDatabaseIntegration:
+    def test_create_index_and_query(self, paper_db):
+        paper_db.create_index("States", "Population")
+        index = paper_db.table("States").index_on("Population")
+        assert index is not None
+        rids = index.search(614)  # Alaska's 1998 population (thousands)
+        rows = [paper_db.table("States").read(r) for r in rids]
+        assert rows == [("Alaska", 614, "Juneau")]
+
+    def test_index_maintained_on_insert_delete(self, paper_db):
+        paper_db.create_index("Sigs", "Name")
+        sigs = paper_db.table("Sigs")
+        rid = sigs.insert(("SIGTEST",))
+        assert sigs.index_on("Name").search("SIGTEST") == [rid]
+        sigs.delete_where(lambda row: row[0] == "SIGTEST")
+        assert sigs.index_on("Name").search("SIGTEST") == []
+
+    def test_index_maintained_on_update(self, paper_db):
+        paper_db.create_index("States", "Name")
+        states = paper_db.table("States")
+        states.update_where(
+            lambda row: row[0] == "Utah", lambda row: ("Deseret", row[1], row[2])
+        )
+        index = states.index_on("Name")
+        assert index.search("Utah") == []
+        assert len(index.search("Deseret")) == 1
+
+    def test_duplicate_index_rejected(self, paper_db):
+        paper_db.create_index("States", "Name")
+        with pytest.raises(Exception, match="already exists"):
+            paper_db.create_index("States", "Name")
+
+    def test_drop_table_drops_indexes(self, paper_db):
+        paper_db.create_index("Movies", "Title")
+        paper_db.drop_table("Movies")
+        assert paper_db.index_names() == []
+
+    def test_index_persistence(self, tmp_path):
+        from repro.storage import Database
+
+        directory = str(tmp_path / "db")
+        with Database(directory) as db:
+            table = db.create_table(
+                "T", [("A", DataType.INT), ("B", DataType.STR)]
+            )
+            table.insert_many([(i % 10, "r{}".format(i)) for i in range(500)])
+            db.create_index("T", "A")
+        with Database(directory) as db:
+            index = db.table("T").index_on("A")
+            assert len(index.search(3)) == 50
+            # And maintenance still works after reopen.
+            rid = db.table("T").insert((3, "new"))
+            assert rid in index.search(3)
+
+
+class TestPlannerUsesIndex:
+    def _indexed_engine(self, paper_db, web):
+        from repro.wsq import WsqEngine
+
+        paper_db.create_index("States", "Population")
+        paper_db.create_index("States", "Name")
+        return WsqEngine(database=paper_db, web=web)
+
+    def test_equality_uses_index(self, paper_db, web):
+        engine = self._indexed_engine(paper_db, web)
+        plan = engine.plan(
+            "Select Population From States Where Name = 'Alaska'", mode="sync"
+        )
+        assert "IndexScan" in plan.explain()
+
+    def test_range_uses_index(self, paper_db, web):
+        engine = self._indexed_engine(paper_db, web)
+        sql = "Select Name From States Where Population > 10000 Order By Name"
+        plan = engine.plan(sql, mode="sync")
+        assert "IndexScan" in plan.explain()
+        with_index = engine.execute(sql, mode="sync").rows
+        engine.planner_options.use_indexes = False
+        without_index = engine.execute(sql, mode="sync").rows
+        assert with_index == without_index
+
+    def test_between_uses_index(self, paper_db, web):
+        engine = self._indexed_engine(paper_db, web)
+        plan = engine.plan(
+            "Select Name From States Where Population Between 600 and 700",
+            mode="sync",
+        )
+        assert "IndexScan" in plan.explain()
+
+    def test_multi_relation_requires_qualifier(self, paper_db, web):
+        engine = self._indexed_engine(paper_db, web)
+        plan = engine.plan(
+            "Select S.Name, Count From States S, WebCount "
+            "Where S.Name = T1 and S.Population > 10000",
+            mode="sync",
+        )
+        assert "IndexScan" in plan.explain()
+
+    def test_disabled_via_options(self, paper_db, web):
+        from repro.plan.planner import PlannerOptions
+        from repro.wsq import WsqEngine
+
+        paper_db.create_index("States", "Name")
+        engine = WsqEngine(
+            database=paper_db,
+            web=web,
+            planner_options=PlannerOptions(use_indexes=False),
+        )
+        plan = engine.plan(
+            "Select Population From States Where Name = 'Utah'", mode="sync"
+        )
+        assert "IndexScan" not in plan.explain()
+
+    def test_create_index_statement(self, engine):
+        engine.run("Create Index idx_cap On States (Capital)")
+        assert "idx_cap" in engine.database.index_names()
+        engine.run("Drop Index idx_cap")
+        assert engine.database.index_names() == []
+
+
+class TestModelBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=200,
+        )
+    )
+    def test_matches_sorted_list_model(self, operations):
+        tree = make_tree(capacity=32)
+        model = []  # list of (key, serial)
+        serial = 0
+        for action, key in operations:
+            if action == "insert":
+                tree.insert(key, RID(serial, 0))
+                model.append((key, serial))
+                serial += 1
+            elif model:
+                victim_key, victim_serial = model[0]
+                assert tree.delete(victim_key, RID(victim_serial, 0))
+                model.pop(0)
+        expected = sorted((k, s) for k, s in model)
+        actual = sorted((k, r.page_id) for k, r in tree.scan_all())
+        assert actual == expected

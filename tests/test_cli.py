@@ -1,0 +1,170 @@
+"""The interactive shell's non-interactive surface."""
+
+import pytest
+
+from repro.cli import _dot_command, _run_statement, build_engine, main
+
+
+class _Args:
+    db = None
+    load_datasets = True
+    latency = 0.0
+    cache = False
+    sync = False
+    command = None
+
+
+class TestBuildEngine:
+    def test_loads_datasets(self):
+        engine = build_engine(_Args())
+        assert engine.database.has_table("States")
+        assert engine.database.has_table("Sigs")
+
+    def test_latency_configured(self):
+        args = _Args()
+        args.latency = 40.0
+        engine = build_engine(args)
+        assert engine.latency is not None
+        delay = engine.latency.delay("AV", "x")
+        assert 0.02 <= delay <= 0.06
+
+    def test_cache_flag(self):
+        args = _Args()
+        args.cache = True
+        assert build_engine(args).cache is not None
+
+
+class TestRunStatement:
+    def test_select_prints_table(self, capsys):
+        engine = build_engine(_Args())
+        code = _run_statement(engine, "Select Name From Sigs Limit 2;", "sync")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SIGACT" in out
+        assert "rows in" in out
+
+    def test_error_reported(self, capsys):
+        engine = build_engine(_Args())
+        code = _run_statement(engine, "Select Nope From States", "sync")
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "unknown column" in err
+
+    def test_syntax_error_diagnostic(self, capsys):
+        engine = build_engine(_Args())
+        code = _run_statement(engine, "Selec Name From", "sync")
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_statement_noop(self):
+        engine = build_engine(_Args())
+        assert _run_statement(engine, "   ;", "sync") == 0
+
+
+class TestDotCommands:
+    def test_tables(self, capsys):
+        engine = build_engine(_Args())
+        mode = _dot_command(engine, ".tables", "async")
+        assert mode == "async"
+        assert "States" in capsys.readouterr().out
+
+    def test_mode_switch(self, capsys):
+        engine = build_engine(_Args())
+        assert _dot_command(engine, ".mode sync", "async") == "sync"
+
+    def test_mode_invalid_keeps_current(self, capsys):
+        engine = build_engine(_Args())
+        assert _dot_command(engine, ".mode warp", "async") == "async"
+
+    def test_explain(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(
+            engine,
+            ".explain Select Name, Count From States, WebCount Where Name = T1",
+            "async",
+        )
+        assert "ReqSync" in capsys.readouterr().out
+
+    def test_explain_error(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".explain Select bogus", "async")
+        assert "error" in capsys.readouterr().err
+
+    def test_stats(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".stats", "async")
+        assert "pump" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".help", "async")
+        assert ".explain" in capsys.readouterr().out
+
+    def test_quit_returns_none(self, capsys):
+        engine = build_engine(_Args())
+        assert _dot_command(engine, ".quit", "async") is None
+
+    def test_unknown_command(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".frobnicate", "async")
+        assert "unknown command" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_single_command_flag(self, capsys):
+        code = main(["--load-datasets", "-c", "Select Name From Sigs Limit 1"])
+        assert code == 0
+        assert "SIGACT" in capsys.readouterr().out
+
+    def test_single_command_error_exit(self, capsys):
+        code = main(["--load-datasets", "-c", "Select X From Nowhere"])
+        assert code == 1
+
+
+class TestReplSubprocess:
+    """Drive the actual REPL loop through a pipe."""
+
+    def _run(self, script, *args):
+        import subprocess
+        import sys
+
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--load-datasets", *args],
+            input=script,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_query_and_quit(self):
+        proc = self._run(
+            "Select Name From Sigs Where Name Like 'SIGM%' Order By Name;\n.quit\n"
+        )
+        assert proc.returncode == 0
+        assert "SIGMOD" in proc.stdout
+        assert "SIGMETRICS" in proc.stdout
+
+    def test_multiline_statement(self):
+        proc = self._run(
+            "Select Name, Count From Sigs, WebCount\n"
+            "Where Name = T1 and T2 = 'Knuth' Order By Count Desc Limit 1;\n"
+            ".quit\n"
+        )
+        assert proc.returncode == 0
+        assert "SIGACT" in proc.stdout
+
+    def test_dot_commands_flow(self):
+        proc = self._run(".tables\n.mode sync\n.stats\n.help\n.quit\n")
+        assert proc.returncode == 0
+        assert "States" in proc.stdout
+        assert "mode: sync" in proc.stdout
+
+    def test_error_then_continue(self):
+        proc = self._run("Select Nope From States;\nSelect Count(*) From States;\n.quit\n")
+        assert proc.returncode == 0
+        assert "unknown column" in proc.stderr
+        assert "50" in proc.stdout
+
+    def test_eof_exits_cleanly(self):
+        proc = self._run("")
+        assert proc.returncode == 0

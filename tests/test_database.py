@@ -1,0 +1,142 @@
+"""Catalog, tables, and the Database facade."""
+
+import pytest
+
+from repro.relational.types import DataType
+from repro.storage.catalog import Catalog, schema_from_json, schema_to_json
+from repro.storage.database import Database
+from repro.relational.schema import Column, Schema
+from repro.util.errors import CatalogError, StorageError
+
+COLUMNS = [("Name", DataType.STR), ("Population", DataType.INT)]
+ROWS = [("California", 32667), ("Alaska", 614), ("Wyoming", 481)]
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        schema = Schema([Column("A", DataType.INT)])
+        catalog.register("T", schema)
+        assert catalog.has_table("t")
+        assert catalog.schema_of("T") is schema
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.register("T", Schema([Column("A", DataType.INT)]))
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.register("t", Schema([Column("B", DataType.INT)]))
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().schema_of("nope")
+
+    def test_schema_json_roundtrip(self):
+        schema = Schema([Column("A", DataType.INT), Column("B", DataType.DATE)])
+        assert schema_from_json(schema_to_json(schema)) == schema
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CatalogError, match="malformed"):
+            schema_from_json([{"name": "A", "type": "no-such-type"}])
+
+    def test_persistence(self, tmp_path):
+        directory = str(tmp_path)
+        catalog = Catalog(directory)
+        catalog.register("T", Schema([Column("A", DataType.INT)]))
+        reloaded = Catalog(directory)
+        assert reloaded.has_table("T")
+        assert reloaded.schema_of("T").names() == ["A"]
+
+    def test_unregister_removes_file(self, tmp_path):
+        directory = str(tmp_path)
+        db = Database(directory)
+        db.create_table_from_rows("T", COLUMNS, ROWS)
+        db.flush()
+        db.drop_table("T")
+        assert not Catalog(directory).has_table("T")
+
+
+class TestTable:
+    def test_insert_scan_roundtrip(self):
+        table = Database().create_table_from_rows("S", COLUMNS, ROWS)
+        assert list(table.scan()) == ROWS
+
+    def test_read_by_rid(self):
+        db = Database()
+        table = db.create_table("S", COLUMNS)
+        rid = table.insert(ROWS[0])
+        assert table.read(rid) == ROWS[0]
+
+    def test_delete_where(self):
+        table = Database().create_table_from_rows("S", COLUMNS, ROWS)
+        assert table.delete_where(lambda r: r[1] < 1000) == 2
+        assert list(table.scan()) == [ROWS[0]]
+
+    def test_update_where(self):
+        table = Database().create_table_from_rows("S", COLUMNS, ROWS)
+        changed = table.update_where(
+            lambda r: r[0] == "Alaska", lambda r: (r[0], r[1] + 1)
+        )
+        assert changed == 1
+        assert ("Alaska", 615) in list(table.scan())
+
+    def test_update_arity_check(self):
+        table = Database().create_table_from_rows("S", COLUMNS, ROWS)
+        with pytest.raises(StorageError, match="arity"):
+            table.update_where(lambda r: True, lambda r: (r[0],))
+
+    def test_null_values_roundtrip(self):
+        table = Database().create_table_from_rows("S", COLUMNS, [("x", None)])
+        assert list(table.scan()) == [("x", None)]
+
+
+class TestDatabase:
+    def test_create_and_get(self):
+        db = Database()
+        db.create_table("T", COLUMNS)
+        assert db.has_table("t")
+        assert db.table("T").name == "T"
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Database().table("missing")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("T", COLUMNS)
+        db.drop_table("T")
+        assert not db.has_table("T")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        for name in ("Zeta", "Alpha", "Mid"):
+            db.create_table(name, COLUMNS)
+        assert db.table_names() == ["Alpha", "Mid", "Zeta"]
+
+    def test_persistence_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        with Database(directory) as db:
+            db.create_table_from_rows("S", COLUMNS, ROWS)
+        with Database(directory) as db:
+            assert list(db.table("S").scan()) == ROWS
+
+    def test_large_persistence(self, tmp_path):
+        directory = str(tmp_path)
+        rows = [("name-{}".format(i), i) for i in range(5000)]
+        with Database(directory, buffer_capacity=4) as db:
+            db.create_table_from_rows("Big", COLUMNS, rows)
+        with Database(directory, buffer_capacity=4) as db:
+            assert db.table("Big").row_count() == 5000
+            assert sorted(db.table("Big").scan()) == sorted(rows)
+
+    def test_buffer_stats_aggregate(self):
+        db = Database()
+        db.create_table_from_rows("S", COLUMNS, ROWS)
+        list(db.table("S").scan())
+        stats = db.buffer_stats()
+        assert set(stats) == {"hits", "misses", "evictions"}
+        assert stats["hits"] + stats["misses"] > 0
+
+    def test_column_objects_accepted(self):
+        db = Database()
+        table = db.create_table("T", [Column("A", DataType.INT)])
+        assert table.schema.names() == ["A"]

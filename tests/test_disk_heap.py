@@ -1,0 +1,126 @@
+"""Disk manager and heap files, in memory and on disk."""
+
+import os
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager, PAGE_SIZE
+from repro.storage.heap import RID, HeapFile
+from repro.storage.page import max_record_size
+from repro.util.errors import StorageError
+
+
+def make_heap(capacity=8):
+    return HeapFile(BufferPool(DiskManager(), capacity=capacity))
+
+
+class TestDiskManager:
+    def test_allocate_and_roundtrip(self):
+        disk = DiskManager()
+        page_id = disk.allocate_page()
+        data = bytearray(PAGE_SIZE)
+        data[10] = 42
+        disk.write_page(page_id, data)
+        assert disk.read_page(page_id)[10] == 42
+
+    def test_out_of_range_read(self):
+        with pytest.raises(StorageError, match="out of range"):
+            DiskManager().read_page(0)
+
+    def test_wrong_size_write(self):
+        disk = DiskManager()
+        disk.allocate_page()
+        with pytest.raises(StorageError):
+            disk.write_page(0, b"short")
+
+    def test_closed_manager_rejects_io(self):
+        disk = DiskManager()
+        disk.allocate_page()
+        disk.close()
+        with pytest.raises(StorageError, match="closed"):
+            disk.read_page(0)
+
+    def test_file_backed_persistence(self, tmp_path):
+        path = str(tmp_path / "data.dat")
+        with DiskManager(path) as disk:
+            page_id = disk.allocate_page()
+            data = bytearray(PAGE_SIZE)
+            data[0] = 7
+            disk.write_page(page_id, data)
+            disk.sync()
+        with DiskManager(path) as disk:
+            assert disk.page_count == 1
+            assert disk.read_page(0)[0] == 7
+
+    def test_corrupt_file_size_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.dat")
+        with open(path, "wb") as f:
+            f.write(b"x" * 100)
+        with pytest.raises(StorageError, match="multiple"):
+            DiskManager(path)
+
+    def test_read_write_counters(self):
+        disk = DiskManager()
+        disk.allocate_page()
+        disk.read_page(0)
+        disk.write_page(0, bytes(PAGE_SIZE))
+        assert disk.reads == 1
+        assert disk.writes == 1
+
+
+class TestRID:
+    def test_equality_and_hash(self):
+        assert RID(1, 2) == RID(1, 2)
+        assert hash(RID(1, 2)) == hash(RID(1, 2))
+        assert RID(1, 2) != RID(2, 1)
+
+
+class TestHeapFile:
+    def test_insert_read(self):
+        heap = make_heap()
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+
+    def test_scan_in_storage_order(self):
+        heap = make_heap()
+        payloads = [b"r%04d" % i for i in range(100)]
+        for p in payloads:
+            heap.insert(p)
+        assert [record for _, record in heap.scan()] == payloads
+
+    def test_spills_to_multiple_pages(self):
+        heap = make_heap()
+        big = b"x" * 1000
+        for _ in range(10):
+            heap.insert(big)
+        assert heap.pool.disk.page_count > 1
+        assert heap.record_count() == 10
+
+    def test_delete(self):
+        heap = make_heap()
+        rids = [heap.insert(b"r%d" % i) for i in range(5)]
+        heap.delete(rids[2])
+        assert heap.read(rids[2]) is None
+        assert heap.record_count() == 4
+
+    def test_record_too_large(self):
+        heap = make_heap()
+        with pytest.raises(StorageError, match="exceeds"):
+            heap.insert(b"x" * (max_record_size(PAGE_SIZE) + 1))
+
+    def test_vacuum_keeps_live_records(self):
+        heap = make_heap()
+        rids = [heap.insert(b"rec%d" % i) for i in range(50)]
+        for rid in rids[::2]:
+            heap.delete(rid)
+        heap.vacuum()
+        survivors = [record for _, record in heap.scan()]
+        assert survivors == [b"rec%d" % i for i in range(1, 50, 2)]
+
+    def test_insert_fills_last_page_first(self):
+        heap = make_heap()
+        heap.insert(b"a")
+        pages_before = heap.pool.disk.page_count
+        heap.insert(b"b")
+        assert heap.pool.disk.page_count == pages_before

@@ -1,0 +1,163 @@
+"""Bound expression evaluation, three-valued logic, placeholder guards."""
+
+import pytest
+
+from repro.relational.expr import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+    conjunction_terms,
+    make_conjunction,
+)
+from repro.relational.placeholder import Placeholder, is_placeholder, row_pending_calls
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+from repro.util.errors import PlaceholderError, TypeMismatchError
+
+ROW = ("Colorado", 3971, 109)
+SCHEMA = Schema(
+    [
+        Column("Name", DataType.STR, "S"),
+        Column("Population", DataType.INT, "S"),
+        Column("Count", DataType.INT, "W"),
+    ]
+)
+
+
+class TestLiteralAndColumnRef:
+    def test_literal(self):
+        assert Literal(5).eval(ROW) == 5
+
+    def test_literal_sql_escapes_quotes(self):
+        assert Literal("O'Brien").sql() == "'O''Brien'"
+
+    def test_column_ref(self):
+        assert ColumnRef(0).eval(ROW) == "Colorado"
+
+    def test_column_ref_sql_with_schema(self):
+        assert ColumnRef(1).sql(SCHEMA) == "S.Population"
+
+    def test_remap(self):
+        assert ColumnRef(1).remap({1: 4}).index == 4
+
+    def test_referenced_columns(self):
+        expr = BinaryOp("/", ColumnRef(2), ColumnRef(1))
+        assert expr.referenced_columns() == {1, 2}
+
+
+class TestArithmetic:
+    def test_division_is_float(self):
+        expr = BinaryOp("/", ColumnRef(2), ColumnRef(1))
+        assert expr.eval(ROW) == pytest.approx(109 / 3971)
+        assert expr.result_type(SCHEMA) is DataType.FLOAT
+
+    def test_division_by_zero_is_null(self):
+        assert BinaryOp("/", Literal(1), Literal(0)).eval(()) is None
+
+    def test_null_propagates(self):
+        assert BinaryOp("+", Literal(None), Literal(1)).eval(()) is None
+
+    def test_add_sub_mul(self):
+        assert BinaryOp("+", Literal(2), Literal(3)).eval(()) == 5
+        assert BinaryOp("-", Literal(2), Literal(3)).eval(()) == -1
+        assert BinaryOp("*", Literal(2), Literal(3)).eval(()) == 6
+
+    def test_unknown_operator(self):
+        with pytest.raises(TypeMismatchError):
+            BinaryOp("%", Literal(1), Literal(2))
+
+    def test_string_arithmetic_fails_typing(self):
+        expr = BinaryOp("+", ColumnRef(0), Literal(1))
+        with pytest.raises(TypeMismatchError):
+            expr.result_type(SCHEMA)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_operators(self, op, expected):
+        assert Comparison(op, Literal(1), Literal(2)).eval(()) is expected
+
+    def test_diamond_normalized(self):
+        assert Comparison("<>", Literal(1), Literal(2)).op == "!="
+
+    def test_null_comparison_is_unknown(self):
+        assert Comparison("=", Literal(None), Literal(1)).eval(()) is None
+
+    def test_string_number_comparison_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Comparison("=", ColumnRef(0), Literal(1)).eval(ROW)
+
+    def test_is_equijoin(self):
+        assert Comparison("=", ColumnRef(0), ColumnRef(1)).is_equijoin()
+        assert not Comparison("<", ColumnRef(0), ColumnRef(1)).is_equijoin()
+        assert not Comparison("=", ColumnRef(0), Literal(1)).is_equijoin()
+
+
+class TestLogic:
+    def test_conjunction_short_circuit_false(self):
+        expr = Conjunction([Literal(False), Literal(None)])
+        assert expr.eval(()) is False
+
+    def test_conjunction_null(self):
+        assert Conjunction([Literal(True), Literal(None)]).eval(()) is None
+
+    def test_conjunction_true(self):
+        assert Conjunction([Literal(True), Literal(True)]).eval(()) is True
+
+    def test_disjunction_true_wins_over_null(self):
+        assert Disjunction([Literal(None), Literal(True)]).eval(()) is True
+
+    def test_disjunction_null(self):
+        assert Disjunction([Literal(False), Literal(None)]).eval(()) is None
+
+    def test_negation(self):
+        assert Negation(Literal(True)).eval(()) is False
+        assert Negation(Literal(None)).eval(()) is None
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Conjunction([])
+
+    def test_conjunction_terms_flattens(self):
+        inner = Conjunction([Literal(True), Literal(False)])
+        outer = Conjunction([inner, Literal(None)])
+        assert len(conjunction_terms(outer)) == 3
+
+    def test_make_conjunction(self):
+        assert make_conjunction([]) is None
+        single = Literal(True)
+        assert make_conjunction([single]) is single
+        assert isinstance(make_conjunction([Literal(True), Literal(False)]), Conjunction)
+
+
+class TestPlaceholders:
+    def test_placeholder_identity(self):
+        p = Placeholder(7, "count")
+        assert is_placeholder(p)
+        assert p == Placeholder(7, "count")
+        assert p != Placeholder(8, "count")
+
+    def test_row_pending_calls(self):
+        row = ("x", Placeholder(1, "count"), Placeholder(2, "url"), Placeholder(1, "rank"))
+        assert row_pending_calls(row) == {1, 2}
+
+    def test_column_ref_guards_placeholders(self):
+        row = ("x", Placeholder(3, "count"), 1)
+        with pytest.raises(PlaceholderError):
+            ColumnRef(1).eval(row)
+
+    def test_raw_access_allows_placeholders(self):
+        row = ("x", Placeholder(3, "count"), 1)
+        assert is_placeholder(ColumnRef(1).raw(row))
+
+    def test_comparison_over_placeholder_raises(self):
+        row = (Placeholder(1, "count"),)
+        with pytest.raises(PlaceholderError):
+            Comparison("=", ColumnRef(0), Literal(1)).eval(row)

@@ -1,0 +1,136 @@
+"""Cross-module integration: persistence + WSQ, the crawler loop, limits."""
+
+import pytest
+
+from repro.asynciter.pump import PumpLimits, RequestPump
+from repro.datasets import load_all
+from repro.relational.types import DataType
+from repro.storage import Database
+from repro.web.latency import FixedLatency
+from repro.wsq import WsqEngine
+
+
+class TestPersistentDatabaseWithWsq:
+    def test_query_over_reopened_database(self, tmp_path, web):
+        directory = str(tmp_path / "db")
+        with Database(directory) as db:
+            load_all(db)
+        with Database(directory) as db:
+            engine = WsqEngine(database=db, web=web)
+            result = engine.execute(
+                "Select Name, Count From Sigs, WebCount "
+                "Where Name = T1 and T2 = 'Knuth' Order By Count Desc Limit 1"
+            )
+            assert result.rows[0][0] == "SIGACT"
+
+    def test_ddl_persists(self, tmp_path, web):
+        directory = str(tmp_path / "db")
+        with Database(directory) as db:
+            engine = WsqEngine(database=db, web=web)
+            engine.run("Create Table Notes (Body string)")
+            engine.run("Insert Into Notes Values ('remember the milk')")
+        with Database(directory) as db:
+            assert list(db.table("Notes").scan()) == [("remember the milk",)]
+
+
+class TestCrawlerLoop:
+    def test_two_round_crawl(self, web):
+        db = Database()
+        engine = WsqEngine(database=db, web=web)
+        seeds = ["www.state.ca.us/welcome.html", "www.acm.org/sigmod/index.html"]
+        db.create_table_from_rows(
+            "Seeds", [("PageUrl", DataType.STR)], [(u,) for u in seeds]
+        )
+        round1 = engine.execute(
+            "Select PageUrl, LinkUrl From Seeds, WebLinks Where PageUrl = Url"
+        )
+        discovered = sorted({link for _, link in round1.rows})
+        assert discovered
+        db.create_table_from_rows(
+            "Round2", [("PageUrl", DataType.STR)], [(u,) for u in discovered[:10]]
+        )
+        round2 = engine.execute(
+            "Select PageUrl, Status, Bytes From Round2, WebFetch Where PageUrl = Url"
+        )
+        assert len(round2.rows) == min(10, len(discovered))
+        assert all(status == 200 for _, status, _ in round2.rows)
+
+    def test_dead_link_cancellation(self, web):
+        """WebLinks on a page with no outlinks cancels the tuple (0 rows)."""
+        db = Database()
+        engine = WsqEngine(database=db, web=web)
+        no_links = next(d.url for d in web.corpus.documents if not d.links)
+        some_links = next(d.url for d in web.corpus.documents if d.links)
+        db.create_table_from_rows(
+            "Mix", [("PageUrl", DataType.STR)], [(no_links,), (some_links,)]
+        )
+        result = engine.execute(
+            "Select PageUrl, LinkUrl From Mix, WebLinks Where PageUrl = Url"
+        )
+        pages = {row[0] for row in result.rows}
+        assert no_links not in pages
+        assert some_links in pages
+
+
+class TestPumpLimitsEndToEnd:
+    def test_limited_pump_still_correct(self, web, paper_db):
+        pump = RequestPump(limits=PumpLimits(max_total=3))
+        try:
+            engine = WsqEngine(database=paper_db, web=web, pump=pump)
+            sql = (
+                "Select Name, Count From Sigs, WebCount "
+                "Where Name = T1 and T2 = 'Knuth'"
+            )
+            limited = engine.execute(sql, mode="async").rows
+            unlimited = engine.execute(sql, mode="sync").rows
+            assert sorted(limited) == sorted(unlimited)
+            assert pump.stats.snapshot()["max_in_flight"] <= 3
+        finally:
+            pump.shutdown()
+
+    def test_per_destination_cap_observed(self, web, paper_db):
+        pump = RequestPump(
+            limits=PumpLimits(per_destination={"AV": 2}, destination_default=None)
+        )
+        try:
+            engine = WsqEngine(
+                database=paper_db, web=web, pump=pump, latency=FixedLatency(0.005)
+            )
+            engine.execute(
+                "Select Name, Count From Sigs, WebCount Where Name = T1",
+                mode="async",
+            )
+            assert pump.stats.snapshot()["max_in_flight"] <= 2
+        finally:
+            pump.shutdown()
+
+
+class TestMultiEngineQueries:
+    def test_cross_engine_counts_differ_only_by_ranking(self, engine):
+        """Counts are corpus properties: identical across engines for
+        near-free expressions."""
+        av = engine.execute(
+            "Select Count From WebCount_AV Where T1 = 'SIGMOD'"
+        ).rows[0][0]
+        google = engine.execute(
+            "Select Count From WebCount_Google Where T1 = 'SIGMOD'"
+        ).rows[0][0]
+        assert av == google
+
+    def test_three_vtables_one_query(self, engine):
+        result = engine.execute(
+            "Select Sigs.Name, C.Count, AV.URL, G.URL "
+            "From Sigs, WebCount C, WebPages_AV AV, WebPages_Google G "
+            "Where Sigs.Name = C.T1 and Sigs.Name = AV.T1 and Sigs.Name = G.T1 "
+            "and AV.Rank <= 1 and G.Rank <= 1 and C.Count > 50",
+            mode="async",
+        )
+        sync = engine.execute(
+            "Select Sigs.Name, C.Count, AV.URL, G.URL "
+            "From Sigs, WebCount C, WebPages_AV AV, WebPages_Google G "
+            "Where Sigs.Name = C.T1 and Sigs.Name = AV.T1 and Sigs.Name = G.T1 "
+            "and AV.Rank <= 1 and G.Rank <= 1 and C.Count > 50",
+            mode="sync",
+        )
+        assert sorted(result.rows) == sorted(sync.rows)
+        assert len(result.rows) > 0

@@ -1,0 +1,84 @@
+"""SQL lexer."""
+
+import pytest
+
+from repro.sql.lexer import TokenType, tokenize
+from repro.util.errors import SqlSyntaxError
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")
+        ] * 3
+
+    def test_identifiers_keep_case(self):
+        assert kinds("WebPages_AV")[0] == (TokenType.IDENT, "WebPages_AV")
+
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.INT, 42)]
+
+    def test_float(self):
+        assert kinds("3.25") == [(TokenType.FLOAT, 3.25)]
+
+    def test_leading_dot_float(self):
+        assert kinds(".5") == [(TokenType.FLOAT, 0.5)]
+
+    def test_qualified_name_is_three_tokens(self):
+        tokens = kinds("S.Name")
+        assert [t for t, _ in tokens] == [
+            TokenType.IDENT,
+            TokenType.SYMBOL,
+            TokenType.IDENT,
+        ]
+
+    def test_number_dot_ident(self):
+        tokens = kinds("1.e")
+        assert tokens[0] == (TokenType.INT, 1)
+        assert tokens[1] == (TokenType.SYMBOL, ".")
+
+    def test_string_literal(self):
+        assert kinds("'four corners'") == [(TokenType.STRING, "four corners")]
+
+    def test_string_escape(self):
+        assert kinds("'O''Brien'") == [(TokenType.STRING, "O'Brien")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_multichar_symbols(self):
+        assert [v for _, v in kinds("<= >= <> != = < >")] == [
+            "<=", ">=", "<>", "!=", "=", "<", ">",
+        ]
+
+    def test_comment_skipped(self):
+        assert kinds("1 -- comment here\n2") == [
+            (TokenType.INT, 1),
+            (TokenType.INT, 2),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("select")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_position_tracking(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[1].position == 4
+
+    def test_diagnostic_caret(self):
+        try:
+            tokenize("select ^")
+        except SqlSyntaxError as exc:
+            diagnostic = exc.diagnostic()
+            assert "^" in diagnostic.splitlines()[-1]
+        else:
+            pytest.fail("expected SqlSyntaxError")

@@ -1,0 +1,135 @@
+"""Slotted-page layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.disk import PAGE_SIZE
+from repro.storage.page import SlottedPage, max_record_size
+from repro.util.errors import StorageError
+
+
+def fresh_page(size=PAGE_SIZE):
+    return SlottedPage(bytearray(size))
+
+
+class TestInsertRead:
+    def test_insert_returns_slots_in_order(self):
+        page = fresh_page()
+        assert page.insert(b"alpha") == 0
+        assert page.insert(b"beta") == 1
+
+    def test_read_back(self):
+        page = fresh_page()
+        slot = page.insert(b"payload")
+        assert page.read(slot) == b"payload"
+
+    def test_empty_record(self):
+        page = fresh_page()
+        slot = page.insert(b"")
+        assert page.read(slot) == b""
+
+    def test_records_iteration(self):
+        page = fresh_page()
+        for payload in (b"a", b"bb", b"ccc"):
+            page.insert(payload)
+        assert list(page.records()) == [(0, b"a"), (1, b"bb"), (2, b"ccc")]
+
+    def test_reload_from_bytes(self):
+        data = bytearray(PAGE_SIZE)
+        page = SlottedPage(data)
+        page.insert(b"persist me")
+        reloaded = SlottedPage(data)
+        assert reloaded.read(0) == b"persist me"
+
+    def test_max_record_fits_exactly(self):
+        page = fresh_page()
+        payload = b"x" * max_record_size(PAGE_SIZE)
+        slot = page.insert(payload)
+        assert page.read(slot) == payload
+        assert not page.has_room_for(1)
+
+    def test_page_full(self):
+        page = fresh_page(128)
+        with pytest.raises(StorageError, match="full"):
+            while True:
+                page.insert(b"0123456789")
+
+
+class TestDelete:
+    def test_delete_leaves_tombstone(self):
+        page = fresh_page()
+        page.insert(b"a")
+        page.insert(b"b")
+        page.delete(0)
+        assert page.read(0) is None
+        assert page.read(1) == b"b"
+        assert page.live_count() == 1
+
+    def test_double_delete_rejected(self):
+        page = fresh_page()
+        page.insert(b"a")
+        page.delete(0)
+        with pytest.raises(StorageError, match="already deleted"):
+            page.delete(0)
+
+    def test_slot_reuse_after_delete(self):
+        page = fresh_page()
+        page.insert(b"a")
+        page.insert(b"b")
+        page.delete(0)
+        assert page.insert(b"c") == 0  # tombstoned slot reused
+        assert page.read(0) == b"c"
+
+    def test_out_of_range_slot(self):
+        with pytest.raises(StorageError, match="out of range"):
+            fresh_page().read(0)
+
+
+class TestCompact:
+    def test_compact_reclaims_space(self):
+        page = fresh_page(256)
+        page.insert(b"a" * 60)
+        page.insert(b"b" * 60)
+        page.delete(0)
+        before = page.free_space()
+        page.compact()
+        assert page.free_space() > before
+        assert page.read(1) == b"b" * 60
+        assert page.read(0) is None  # tombstone survives compaction
+
+    def test_compact_preserves_rids(self):
+        page = fresh_page()
+        payloads = [b"p%d" % i for i in range(10)]
+        for p in payloads:
+            page.insert(p)
+        for slot in (1, 4, 7):
+            page.delete(slot)
+        page.compact()
+        for slot, p in enumerate(payloads):
+            expected = None if slot in (1, 4, 7) else p
+            assert page.read(slot) == expected
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.binary(max_size=40)),
+            max_size=60,
+        )
+    )
+    def test_model_based_operations(self, operations):
+        """Page behaves like a dict slot->bytes under insert/delete."""
+        page = fresh_page()
+        model = {}
+        for action, payload in operations:
+            if action == "insert" and page.has_room_for(len(payload)):
+                slot = page.insert(payload)
+                assert slot not in model
+                model[slot] = payload
+            elif action == "delete" and model:
+                slot = sorted(model)[0]
+                page.delete(slot)
+                del model[slot]
+        assert dict(page.records()) == model

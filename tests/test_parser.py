@@ -1,0 +1,220 @@
+"""SQL parser: clause coverage, errors, and render round-trips."""
+
+import pytest
+
+from repro.relational.types import DataType
+from repro.sql import ast
+from repro.sql.parser import parse, parse_select
+from repro.util.errors import SqlSyntaxError
+
+PAPER_QUERIES = [
+    "Select Name, Count From States, WebCount Where Name = T1 Order By Count Desc",
+    "Select Name, Count/Population As C From States, WebCount Where Name = T1 Order By C Desc",
+    "Select Name, Count From States, WebCount Where Name = T1 and T2 = 'four corners' Order By Count Desc",
+    "Select Capital, C.Count, Name, S.Count From States, WebCount C, WebCount S "
+    "Where Capital = C.T1 and Name = S.T1 and C.Count > S.Count",
+    "Select Name, URL, Rank From States, WebPages Where Name = T1 and Rank <= 2 Order By Name, Rank",
+    "Select Name, AV.URL From States, WebPages_AV AV, WebPages_Google G "
+    "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 5 and G.Rank <= 5 and AV.URL = G.URL",
+    "Select * From Sigs, WebCount Where Name = T1 and T2 = 'Knuth' Order By Count Desc",
+]
+
+
+class TestSelect:
+    def test_simple(self):
+        q = parse_select("Select Name From States")
+        assert len(q.select_items) == 1
+        assert q.from_tables == [ast.TableRef("States")]
+
+    def test_star(self):
+        q = parse_select("Select * From States")
+        assert isinstance(q.select_items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        q = parse_select("Select S.* From States S")
+        assert q.select_items[0].expr == ast.Star("S")
+
+    def test_alias_with_as(self):
+        q = parse_select("Select Count/Population As C From States")
+        assert q.select_items[0].alias == "C"
+
+    def test_alias_without_as(self):
+        q = parse_select("Select Population P From States")
+        assert q.select_items[0].alias == "P"
+
+    def test_from_alias(self):
+        q = parse_select("Select * From WebPages_AV AV")
+        assert q.from_tables[0] == ast.TableRef("WebPages_AV", "AV")
+        assert q.from_tables[0].binding_name == "AV"
+
+    def test_where_conjunction(self):
+        q = parse_select("Select * From T Where a = 1 and b = 2 and c = 3")
+        assert isinstance(q.where, ast.LogicalAnd)
+        assert len(q.where.terms) == 3
+
+    def test_or_and_precedence(self):
+        q = parse_select("Select * From T Where a = 1 or b = 2 and c = 3")
+        assert isinstance(q.where, ast.LogicalOr)
+        assert isinstance(q.where.terms[1], ast.LogicalAnd)
+
+    def test_not(self):
+        q = parse_select("Select * From T Where not a = 1")
+        assert isinstance(q.where, ast.LogicalNot)
+
+    def test_order_by_desc(self):
+        q = parse_select("Select a From T Order By a Desc, b")
+        assert q.order_by[0].descending is True
+        assert q.order_by[1].descending is False
+
+    def test_group_by_having(self):
+        q = parse_select(
+            "Select Capital, Count(*) From States Group By Capital Having Count(*) > 1"
+        )
+        assert len(q.group_by) == 1
+        assert isinstance(q.having, ast.Cmp)
+
+    def test_aggregates(self):
+        q = parse_select("Select Count(*), Sum(a), Avg(a), Min(a), Max(a) From T")
+        funcs = [item.expr.func for item in q.select_items]
+        assert funcs == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+    def test_limit(self):
+        assert parse_select("Select a From T Limit 5").limit == 5
+
+    def test_distinct(self):
+        assert parse_select("Select Distinct a From T").distinct
+
+    def test_arithmetic_precedence(self):
+        q = parse_select("Select a + b * c From T")
+        expr = q.select_items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized(self):
+        q = parse_select("Select (a + b) * c From T")
+        assert q.select_items[0].expr.op == "*"
+
+    def test_unary_minus_constant_folds(self):
+        q = parse_select("Select -5 From T")
+        assert q.select_items[0].expr == ast.Const(-5)
+
+    def test_null_true_false_literals(self):
+        q = parse_select("Select * From T Where a = null and b = true and c = false")
+        consts = [t.right.value for t in q.where.terms]
+        assert consts == [None, True, False]
+
+    def test_semicolon_allowed(self):
+        parse_select("Select a From T;")
+
+
+class TestStatements:
+    def test_create_table(self):
+        stmt = parse("Create Table T (a int, b varchar(10), c float, d date, e bool)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns == [
+            ("a", DataType.INT),
+            ("b", DataType.STR),
+            ("c", DataType.FLOAT),
+            ("d", DataType.DATE),
+            ("e", DataType.BOOL),
+        ]
+
+    def test_insert_multi_row(self):
+        stmt = parse("Insert Into T Values (1, 'x'), (2, 'y')")
+        assert stmt.rows == [(1, "x"), (2, "y")]
+
+    def test_insert_negative_and_null(self):
+        stmt = parse("Insert Into T Values (-3, null, true)")
+        assert stmt.rows == [(-3, None, True)]
+
+    def test_delete_with_where(self):
+        stmt = parse("Delete From T Where a < 5")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        assert parse("Delete From T").where is None
+
+    def test_drop(self):
+        assert parse("Drop Table T") == ast.DropTable("T")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "Select",
+            "Select From T",
+            "Select a From",
+            "Select a From T Where",
+            "Select a From T Order a",
+            "Select a From T Limit 'x'",
+            "Select a From T trailing garbage",
+            "Create Table T (a notatype)",
+            "Insert Into T Values 1",
+            "Select a From T Where a = ",
+            "Frobnicate the database",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)
+
+    def test_parse_select_rejects_ddl(self):
+        with pytest.raises(SqlSyntaxError, match="expected a SELECT"):
+            parse_select("Drop Table T")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", PAPER_QUERIES)
+    def test_paper_queries_roundtrip(self, sql):
+        tree = parse(sql)
+        assert parse(tree.sql()) == tree
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "Select Distinct a, b + 1 As c From T, U V Where a = 1 or not b < 2 "
+            "Group By a Having Count(*) >= 2 Order By c Desc Limit 7",
+            "Insert Into T Values (1, 2.5, 'three', null)",
+            "Create Table Zoo (animal string, legs int)",
+        ],
+    )
+    def test_other_roundtrips(self, sql):
+        tree = parse(sql)
+        assert parse(tree.sql()) == tree
+
+
+class TestSubqueries:
+    def test_in_select_parses(self):
+        q = parse_select(
+            "Select Name From States Where Capital In (Select Capital From Big)"
+        )
+        assert isinstance(q.where, ast.InSelect)
+        assert not q.where.negated
+        assert isinstance(q.where.subquery, ast.SelectQuery)
+
+    def test_not_in_select(self):
+        q = parse_select("Select a From T Where a Not In (Select b From U)")
+        assert q.where.negated
+
+    def test_exists(self):
+        q = parse_select("Select a From T Where Exists (Select b From U)")
+        assert isinstance(q.where, ast.Exists)
+
+    def test_not_exists_via_logical_not(self):
+        q = parse_select("Select a From T Where Not Exists (Select b From U)")
+        assert isinstance(q.where, ast.LogicalNot)
+        assert isinstance(q.where.term, ast.Exists)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "Select a From T Where a In (Select b From U Where b > 1)",
+            "Select a From T Where Exists (Select b From U) and a = 1",
+            "Select a From T Where a Not In (Select b From U Order By b)",
+        ],
+    )
+    def test_subquery_roundtrip(self, sql):
+        tree = parse(sql)
+        assert parse(tree.sql()) == tree

@@ -1,0 +1,103 @@
+"""Record codec round-trips, including property-based coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+from repro.storage.serialization import decode_record, encode_record
+from repro.util.errors import StorageError, TypeMismatchError
+
+SCHEMA = Schema(
+    [
+        Column("Name", DataType.STR),
+        Column("Population", DataType.INT),
+        Column("Share", DataType.FLOAT),
+        Column("Founded", DataType.DATE),
+        Column("Active", DataType.BOOL),
+    ]
+)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        row = ("California", 32667, 0.153, "1850-09-09", True)
+        assert decode_record(encode_record(row, SCHEMA), SCHEMA) == row
+
+    def test_nulls_everywhere(self):
+        row = (None, None, None, None, None)
+        assert decode_record(encode_record(row, SCHEMA), SCHEMA) == row
+
+    def test_empty_string(self):
+        row = ("", 0, 0.0, "", False)
+        assert decode_record(encode_record(row, SCHEMA), SCHEMA) == row
+
+    def test_unicode(self):
+        row = ("Škofja Loka — 日本", 1, 1.0, "1999-01-01", False)
+        assert decode_record(encode_record(row, SCHEMA), SCHEMA) == row
+
+    def test_int_widened_in_float_column(self):
+        row = ("x", 1, 2, "d", True)  # int in FLOAT column
+        decoded = decode_record(encode_record(row, SCHEMA), SCHEMA)
+        assert decoded[2] == 2.0 and isinstance(decoded[2], float)
+
+    def test_negative_ints(self):
+        schema = Schema([Column("A", DataType.INT)])
+        row = (-(2**62),)
+        assert decode_record(encode_record(row, schema), schema) == row
+
+
+class TestErrors:
+    def test_arity_mismatch(self):
+        with pytest.raises(StorageError):
+            encode_record(("only-one",), SCHEMA)
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            encode_record((1, 1, 1.0, "d", True), SCHEMA)
+
+    def test_trailing_garbage_detected(self):
+        data = encode_record(("x", 1, 1.0, "d", True), SCHEMA) + b"junk"
+        with pytest.raises(StorageError, match="trailing"):
+            decode_record(data, SCHEMA)
+
+    def test_truncated_bitmap(self):
+        with pytest.raises(StorageError):
+            decode_record(b"", SCHEMA)
+
+
+_value_strategies = {
+    DataType.INT: st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    DataType.FLOAT: st.floats(allow_nan=False, allow_infinity=True),
+    DataType.STR: st.text(max_size=60),
+    DataType.DATE: st.text(max_size=10),
+    DataType.BOOL: st.booleans(),
+}
+
+
+@st.composite
+def schema_and_row(draw):
+    types = draw(
+        st.lists(st.sampled_from(list(_value_strategies)), min_size=1, max_size=8)
+    )
+    schema = Schema([Column("c{}".format(i), t) for i, t in enumerate(types)])
+    row = tuple(
+        draw(st.none() | _value_strategies[t]) for t in types
+    )
+    return schema, row
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(schema_and_row())
+    def test_round_trip_property(self, payload):
+        schema, row = payload
+        decoded = decode_record(encode_record(row, schema), schema)
+        expected = tuple(
+            float(v)
+            if v is not None and schema[i].type is DataType.FLOAT
+            else v
+            for i, v in enumerate(row)
+        )
+        assert decoded == expected

@@ -1,0 +1,78 @@
+"""Value types and coercion."""
+
+import pytest
+
+from repro.relational.types import (
+    DataType,
+    coerce_value,
+    common_numeric_type,
+    infer_literal_type,
+)
+from repro.util.errors import TypeMismatchError
+
+
+class TestInferLiteralType:
+    def test_int(self):
+        assert infer_literal_type(3) is DataType.INT
+
+    def test_float(self):
+        assert infer_literal_type(3.5) is DataType.FLOAT
+
+    def test_str(self):
+        assert infer_literal_type("x") is DataType.STR
+
+    def test_bool_is_not_int(self):
+        assert infer_literal_type(True) is DataType.BOOL
+
+    def test_none_is_untyped(self):
+        assert infer_literal_type(None) is None
+
+    def test_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            infer_literal_type(object())
+
+
+class TestCoerceValue:
+    def test_null_passes_through(self):
+        assert coerce_value(None, DataType.INT) is None
+
+    def test_int_widens_to_float(self):
+        value = coerce_value(7, DataType.FLOAT)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+    def test_int_stays_int(self):
+        assert coerce_value(7, DataType.INT) == 7
+
+    def test_bool_rejected_in_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, DataType.INT)
+
+    def test_str_rejected_in_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("7", DataType.INT)
+
+    def test_date_is_string(self):
+        assert coerce_value("1999-10-01", DataType.DATE) == "1999-10-01"
+
+    def test_float_rejected_in_str(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(1.5, DataType.STR)
+
+
+class TestCommonNumericType:
+    def test_int_int(self):
+        assert common_numeric_type(DataType.INT, DataType.INT) is DataType.INT
+
+    def test_int_float(self):
+        assert common_numeric_type(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(DataType.STR, DataType.INT)
+
+    def test_is_numeric_property(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STR.is_numeric
+        assert not DataType.DATE.is_numeric

@@ -1,0 +1,130 @@
+"""The WsqEngine facade: execution modes, DDL/DML, stats, results."""
+
+import pytest
+
+from repro.storage import Database
+from repro.util.errors import PlanError
+from repro.web.cache import ResultCache
+from repro.web.latency import FixedLatency
+from repro.wsq import QueryResult, WsqEngine, format_table
+
+
+class TestCatalog:
+    def test_engine_specific_tables_registered(self, engine):
+        for name in (
+            "WebCount", "WebPages", "WebCount_AV", "WebPages_AV",
+            "WebCount_Google", "WebPages_Google", "WebFetch", "WebLinks",
+        ):
+            assert name in engine.vtables
+
+    def test_default_tables_use_first_engine(self, engine):
+        assert engine.vtables["WebCount"].client.name == "AV"
+
+    def test_unknown_mode_rejected(self, engine):
+        with pytest.raises(PlanError, match="mode"):
+            engine.execute("Select Name From States", mode="turbo")
+
+
+class TestExecution:
+    def test_plain_select(self, engine):
+        result = engine.execute("Select Name From States Limit 3", mode="sync")
+        assert len(result) == 3
+        assert result.columns == ["Name"]
+
+    def test_async_speedup_with_latency(self, web, paper_db):
+        import time
+
+        latency_engine = WsqEngine(
+            database=paper_db, web=web, latency=FixedLatency(0.01)
+        )
+        sql = "Select Name, Count From Sigs, WebCount Where Name = T1 and T2 = 'Knuth'"
+        started = time.perf_counter()
+        latency_engine.execute(sql, mode="sync")
+        sync_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        latency_engine.execute(sql, mode="async")
+        async_elapsed = time.perf_counter() - started
+        # 37 x 10ms serial vs concurrent: expect a large gap.
+        assert sync_elapsed > 4 * async_elapsed
+
+    def test_cache_shared_between_modes(self, web, paper_db):
+        cache = ResultCache()
+        cached_engine = WsqEngine(database=paper_db, web=web, cache=cache)
+        sql = "Select Count From WebCount Where T1 = 'Utah'"
+        cached_engine.execute(sql, mode="sync")
+        misses = cache.misses
+        cached_engine.execute(sql, mode="async")
+        assert cache.misses == misses  # async path hit the shared cache
+        assert cache.hits >= 1
+
+    def test_explain_modes_differ(self, engine):
+        sql = "Select Name, Count From States, WebCount Where Name = T1"
+        assert "EVScan" in engine.explain(sql, mode="sync")
+        assert "AEVScan" in engine.explain(sql, mode="async")
+        assert "ReqSync" in engine.explain(sql, mode="async")
+
+    def test_elapsed_recorded(self, engine):
+        result = engine.execute("Select Name From States", mode="sync")
+        assert result.elapsed is not None and result.elapsed >= 0
+
+
+class TestRunStatements:
+    def test_create_insert_select_delete_drop(self, engine):
+        engine.run("Create Table Pets (Name string, Legs int)")
+        engine.run("Insert Into Pets Values ('cat', 4), ('bird', 2), ('snake', 0)")
+        result = engine.run("Select Name From Pets Where Legs > 1 Order By Name")
+        assert result.rows == [("bird",), ("cat",)]
+        deleted = engine.run("Delete From Pets Where Legs = 0")
+        assert "1" in deleted.rows[0][0]
+        engine.run("Drop Table Pets")
+        assert not engine.database.has_table("Pets")
+
+    def test_delete_without_where(self, engine):
+        engine.run("Create Table Tmp (A int)")
+        engine.run("Insert Into Tmp Values (1), (2)")
+        engine.run("Delete From Tmp")
+        assert engine.database.table("Tmp").row_count() == 0
+
+    def test_run_select_respects_mode(self, engine):
+        result = engine.run("Select Name From Sigs Limit 2", mode="sync")
+        assert len(result) == 2
+
+
+class TestStats:
+    def test_stats_structure(self, engine):
+        engine.execute("Select Count From WebCount Where T1 = 'Utah'")
+        stats = engine.stats()
+        assert "pump" in stats
+        assert "engines" in stats
+        assert stats["requests_sent"]["AV"] >= 1
+
+    def test_cache_stats_present_when_cached(self, web, paper_db):
+        cached = WsqEngine(database=paper_db, web=web, cache=ResultCache())
+        assert "cache" in cached.stats()
+
+
+class TestQueryResult:
+    def test_as_dicts(self):
+        result = QueryResult(["a", "b"], [(1, 2), (3, 4)])
+        assert result.as_dicts() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+    def test_column_access(self):
+        result = QueryResult(["Name", "Count"], [("x", 1), ("y", 2)])
+        assert result.column("count") == [1, 2]
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_indexing_and_iteration(self):
+        result = QueryResult(["a"], [(1,), (2,)])
+        assert result[0] == (1,)
+        assert list(result) == [(1,), (2,)]
+
+    def test_format_table_truncation(self):
+        result = QueryResult(["col"], [("x" * 100,), ("y",), ("z",)])
+        rendered = format_table(result, max_rows=2, max_width=10)
+        assert "..." in rendered
+        assert "more rows" in rendered
+
+    def test_format_table_nulls(self):
+        rendered = format_table(QueryResult(["a"], [(None,)]))
+        assert "NULL" in rendered
