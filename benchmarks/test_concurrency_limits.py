@@ -16,7 +16,7 @@ SQL = "Select Name, Count From Sigs, WebCount Where Name = T1 and T2 = 'Knuth'"
 LIMITS = [1, 2, 4, 8, 16, 37, None]
 
 
-@pytest.mark.parametrize("limit", LIMITS, ids=lambda l: "limit={}".format(l))
+@pytest.mark.parametrize("limit", LIMITS, ids=lambda cap: "limit={}".format(cap))
 def test_concurrency_limit_sweep(benchmark, limit):
     def run():
         pump = RequestPump(limits=PumpLimits(max_total=limit))

@@ -6,15 +6,11 @@ They bound how much of a WSQ query's time is *not* network — the paper's
 premise is that search latency dominates everything below.
 """
 
-import pytest
-
 from repro.bench.workloads import bench_engine
 from repro.datasets import load_states_table
 from repro.relational.types import DataType
 from repro.sql.parser import parse_select
 from repro.storage import Database
-from repro.web.world import default_web
-
 Q6 = (
     "Select Name, AV.URL From States, WebPages_AV AV, WebPages_Google G "
     "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 5 and G.Rank <= 5 "

@@ -6,8 +6,6 @@ the classic price of the no-steal/redo design — visible here, and the
 reason real systems group-commit.
 """
 
-import pytest
-
 from repro.relational.types import DataType
 from repro.storage import Database
 

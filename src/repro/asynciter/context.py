@@ -17,6 +17,7 @@ lease-counted so every registrant can consume them.
 """
 
 import threading
+import time
 
 from repro.util.errors import ExecutionError
 
@@ -33,8 +34,10 @@ class AsyncContext:
         self._by_key = {}  # call.key -> call_id (for dedup)
         self._key_of = {}  # call_id -> call.key
         self._leases = {}  # call_id -> outstanding take_result count
+        self._dest_of = {}  # call_id -> destination (for diagnostics)
         self.dedup_hits = 0
         self.calls_registered = 0
+        self.call_errors = 0  # errors observed by take_result
 
     # -- producer side (pump thread) --------------------------------------------
 
@@ -52,6 +55,7 @@ class AsyncContext:
         self.calls_registered += 1
         with self._cond:
             self._leases[call_id] = 1
+            self._dest_of[call_id] = call.destination
         if self.dedup and call.key is not None:
             self._by_key[call.key] = call_id
             self._key_of[call_id] = call.key
@@ -80,13 +84,12 @@ class AsyncContext:
         """Block until at least one of *call_ids* completes; return those.
 
         Raises :class:`ExecutionError` on timeout — a safety valve so a
-        lost signal can never hang a query forever.
+        lost signal (or a hung destination that slipped past the pump's
+        per-call timeout) can never hang a query forever.  The message
+        names the destinations still outstanding and the elapsed time,
+        so a hung call is diagnosable instead of a bare timeout.
         """
-        deadline_error = (
-            "timed out after {}s waiting for external calls {}".format(
-                timeout, sorted(call_ids)
-            )
-        )
+        started = time.perf_counter()
         with self._cond:
             while True:
                 done = {
@@ -97,7 +100,23 @@ class AsyncContext:
                 if done:
                     return done
                 if not self._cond.wait(timeout=timeout):
-                    raise ExecutionError(deadline_error)
+                    elapsed = time.perf_counter() - started
+                    destinations = sorted(
+                        {
+                            str(self._dest_of.get(cid, "unknown"))
+                            for cid in call_ids
+                        }
+                    ) or ["unknown"]
+                    raise ExecutionError(
+                        "timed out after {:.1f}s waiting for {} external "
+                        "call(s) to destination(s) {} (call ids {}); the "
+                        "destination may be hung or the pump torn down".format(
+                            elapsed,
+                            len(call_ids),
+                            ", ".join(destinations),
+                            sorted(call_ids),
+                        )
+                    )
 
     def take_result(self, call_id):
         """Consume one lease on *call_id*'s rows (raises its error if any).
@@ -107,8 +126,13 @@ class AsyncContext:
         """
         with self._cond:
             if call_id in self._errors:
+                self.call_errors += 1
                 raise ExecutionError(
-                    "external call {} failed: {}".format(call_id, self._errors[call_id])
+                    "external call {} to {!r} failed: {}".format(
+                        call_id,
+                        self._dest_of.get(call_id, "unknown"),
+                        self._errors[call_id],
+                    )
                 ) from self._errors[call_id]
             if call_id not in self._results:
                 raise ExecutionError(
@@ -129,8 +153,19 @@ class AsyncContext:
         for cid in call_ids:
             self.pump.cancel(cid)
 
+    def destination_of(self, call_id):
+        """The destination *call_id* was registered against (or None)."""
+        with self._cond:
+            return self._dest_of.get(call_id)
+
+    def error_of(self, call_id):
+        """The raw error for *call_id*, if it failed (else None)."""
+        with self._cond:
+            return self._errors.get(call_id)
+
     def stats(self):
         return {
             "calls_registered": self.calls_registered,
             "dedup_hits": self.dedup_hits,
+            "call_errors": self.call_errors,
         }

@@ -10,12 +10,22 @@ is two layers of counting semaphores: one global, one per destination.
 "When a call is registered with ReqPump but cannot be executed because of
 resource limits, the call is placed on a queue" — the semaphore wait queue
 plays that role, and the statistics expose how much queueing happened.
+
+Resilience (a deliberate departure from the paper, which assumed reliable
+engines): with a :class:`~repro.asynciter.resilience.ResiliencePolicy`
+attached, every call runs under a per-attempt ``asyncio.wait_for``
+timeout, transient failures are retried with deterministic backoff, and a
+per-destination :class:`~repro.asynciter.resilience.CircuitBreaker` fails
+fast while a destination is down.  The extended statistics (``retries``,
+``timeouts``, ``breaker_open_rejections``, per-destination breakdown)
+make the machinery observable.
 """
 
 import asyncio
 import threading
 
-from repro.util.errors import ExecutionError
+from repro.asynciter.resilience import CircuitBreaker
+from repro.util.errors import BreakerOpenError, ExecutionError, RequestTimeoutError
 
 
 class PumpLimits:
@@ -34,6 +44,17 @@ class PumpLimits:
         return self.per_destination.get(destination, self.destination_default)
 
 
+_DEST_COUNTER_KEYS = (
+    "registered",
+    "completed",
+    "failed",
+    "cancelled",
+    "retries",
+    "timeouts",
+    "breaker_open_rejections",
+)
+
+
 class _PumpStats:
     def __init__(self):
         self.registered = 0
@@ -42,7 +63,25 @@ class _PumpStats:
         self.cancelled = 0
         self.in_flight = 0
         self.max_in_flight = 0
+        # Resilience counters.
+        self.retries = 0
+        self.timeouts = 0
+        self.breaker_open_rejections = 0
+        self.per_destination = {}  # destination -> counter dict
         self.lock = threading.Lock()
+
+    def destination(self, destination):
+        """The per-destination counter dict (call with ``lock`` held)."""
+        counters = self.per_destination.get(destination)
+        if counters is None:
+            counters = {key: 0 for key in _DEST_COUNTER_KEYS}
+            self.per_destination[destination] = counters
+        return counters
+
+    def bump(self, destination, key):
+        with self.lock:
+            setattr(self, key, getattr(self, key) + 1)
+            self.destination(destination)[key] += 1
 
     def snapshot(self):
         with self.lock:
@@ -54,26 +93,38 @@ class _PumpStats:
                 "cancelled": self.cancelled,
                 "in_flight": self.in_flight,
                 "max_in_flight": self.max_in_flight,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "breaker_open_rejections": self.breaker_open_rejections,
                 # Registered but neither executing nor settled: the
                 # paper's "placed on a queue" calls awaiting a limit slot.
                 "queued": max(0, self.registered - settled - self.in_flight),
+                "per_destination": {
+                    dest: dict(counters)
+                    for dest, counters in self.per_destination.items()
+                },
             }
 
 
 class RequestPump:
     """Issues external calls concurrently on a background event loop."""
 
-    def __init__(self, limits=None, name="reqpump"):
+    def __init__(self, limits=None, name="reqpump", resilience=None):
         self.limits = limits or PumpLimits()
         self.name = name
+        self.resilience = resilience  # a ResiliencePolicy, or None
         self.stats = _PumpStats()
         self._lock = threading.Lock()
+        # Guards _futures against concurrent mutation from the query
+        # thread (register/cancel) and the loop thread (settlement).
+        self._futures_lock = threading.Lock()
         self._loop = None
         self._thread = None
         self._next_call_id = 0
         self._futures = {}  # call_id -> concurrent.futures.Future
         self._global_sem = None
         self._dest_sems = {}
+        self._breakers = {}  # destination -> CircuitBreaker
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -100,23 +151,40 @@ class RequestPump:
             started.wait()
 
     def shutdown(self):
-        """Stop the loop thread.  Pending calls are cancelled."""
+        """Stop the loop thread.  Pending calls are cancelled.
+
+        Cancellation is *drained* before the loop stops: every task gets
+        to unwind (releasing semaphores, running ``finally`` blocks, and
+        settling its future) so no ``on_complete`` callback can fire
+        after this method returns, and a subsequent
+        :meth:`ensure_started` yields a clean pump.
+        """
         with self._lock:
             loop, thread = self._loop, self._thread
             self._loop = None
             self._thread = None
             self._global_sem = None
             self._dest_sems = {}
+            self._breakers = {}
         if loop is None:
             return
 
-        def stop():
-            for task in asyncio.all_tasks(loop):
+        async def drain():
+            current = asyncio.current_task()
+            tasks = [t for t in asyncio.all_tasks() if t is not current]
+            for task in tasks:
                 task.cancel()
-            loop.call_soon(loop.stop)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
 
-        loop.call_soon_threadsafe(stop)
+        try:
+            asyncio.run_coroutine_threadsafe(drain(), loop).result(timeout=5)
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=5)
+        with self._futures_lock:
+            self._futures = {}
 
     # -- registration ---------------------------------------------------------------
 
@@ -133,20 +201,58 @@ class RequestPump:
             call_id = self._next_call_id
             self._next_call_id += 1
             loop = self._loop
+        destination = call.destination
         with self.stats.lock:
             self.stats.registered += 1
-        future = asyncio.run_coroutine_threadsafe(
-            self._run_call(call_id, call, on_complete), loop
+            self.stats.destination(destination)["registered"] += 1
+        # Store the future *under the lock before the loop thread can
+        # settle the call*: the settlement callback (attached below)
+        # performs the pop, so a fast completion can no longer race the
+        # assignment and leak the entry.
+        with self._futures_lock:
+            future = asyncio.run_coroutine_threadsafe(
+                self._run_call(call_id, call, on_complete), loop
+            )
+            self._futures[call_id] = future
+        future.add_done_callback(
+            lambda fut: self._settle(call_id, destination, fut)
         )
-        self._futures[call_id] = future
         return call_id
 
     def cancel(self, call_id):
-        """Best-effort cancellation of one registered call."""
-        future = self._futures.get(call_id)
-        if future is not None and future.cancel():
-            with self.stats.lock:
+        """Best-effort cancellation of one registered call.
+
+        Accounting happens at settlement (the future's done callback),
+        so a call is counted as *cancelled* exactly once, and never also
+        as completed/failed — the ``snapshot()["queued"]`` invariant
+        holds under cancellation, double-cancellation, and
+        cancel-vs-complete races.
+        """
+        with self._futures_lock:
+            future = self._futures.get(call_id)
+        if future is not None:
+            future.cancel()
+
+    def _settle(self, call_id, destination, future):
+        """Final accounting for one call; runs exactly once per future."""
+        with self._futures_lock:
+            self._futures.pop(call_id, None)
+        cancelled = future.cancelled()
+        failed = False
+        if not cancelled:
+            error = future.exception()
+            failed = error is not None or future.result() == "error"
+        with self.stats.lock:
+            counters = self.stats.destination(destination)
+            if cancelled:
                 self.stats.cancelled += 1
+                counters["cancelled"] += 1
+            elif failed:
+                self.stats.failed += 1
+                counters["failed"] += 1
+            else:
+                self.stats.completed += 1
+                counters["completed"] += 1
 
     async def _run_call(self, call_id, call, on_complete):
         global_sem = self._semaphore()
@@ -160,23 +266,94 @@ class RequestPump:
                             self.stats.max_in_flight, self.stats.in_flight
                         )
                     try:
-                        rows = await call.execute_async()
+                        rows = await self._execute_resilient(call)
                     finally:
                         with self.stats.lock:
                             self.stats.in_flight -= 1
         except asyncio.CancelledError:
-            self._futures.pop(call_id, None)
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced to the query thread
-            with self.stats.lock:
-                self.stats.failed += 1
-            self._futures.pop(call_id, None)
             on_complete(call_id, None, exc)
-            return
-        with self.stats.lock:
-            self.stats.completed += 1
-        self._futures.pop(call_id, None)
+            return "error"
         on_complete(call_id, rows, None)
+        return "ok"
+
+    # -- resilience ---------------------------------------------------------------
+
+    async def _execute_resilient(self, call):
+        """One call under the resilience policy: timeout, retry, breaker."""
+        policy = self.resilience
+        if policy is None:
+            return await call.execute_async()
+        breaker = self._breaker_for(call.destination)
+        retry = policy.retry
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow():
+                self.stats.bump(call.destination, "breaker_open_rejections")
+                raise BreakerOpenError(
+                    "circuit breaker open for destination {!r}: "
+                    "failing fast without a network round trip".format(
+                        call.destination
+                    )
+                )
+            try:
+                coroutine = call.execute_async(attempt)
+                if policy.call_timeout is not None:
+                    rows = await asyncio.wait_for(coroutine, policy.call_timeout)
+                else:
+                    rows = await coroutine
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if isinstance(exc, asyncio.TimeoutError) and not isinstance(
+                    exc, RequestTimeoutError
+                ):
+                    exc = RequestTimeoutError(
+                        "call to {!r} timed out after {}s (attempt {})".format(
+                            call.destination, policy.call_timeout, attempt + 1
+                        )
+                    )
+                    self.stats.bump(call.destination, "timeouts")
+                elif isinstance(exc, RequestTimeoutError):
+                    self.stats.bump(call.destination, "timeouts")
+                if breaker is not None:
+                    breaker.record_failure()
+                if retry is not None and retry.should_retry(exc, attempt):
+                    self.stats.bump(call.destination, "retries")
+                    delay = retry.backoff_delay(call.key, attempt)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    attempt += 1
+                    continue
+                raise exc
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return rows
+
+    def _breaker_for(self, destination):
+        policy = self.resilience
+        if policy is None or policy.breaker is None:
+            return None
+        breaker = self._breakers.get(destination)
+        if breaker is None:
+            breaker = CircuitBreaker(destination, policy.breaker)
+            self._breakers[destination] = breaker
+        return breaker
+
+    def breakers(self):
+        """Per-destination breaker snapshots (empty without a policy)."""
+        return {
+            destination: breaker.snapshot()
+            for destination, breaker in sorted(self._breakers.items())
+        }
+
+    def snapshot(self):
+        """Statistics plus circuit-breaker states, one dict."""
+        payload = self.stats.snapshot()
+        payload["breakers"] = self.breakers()
+        return payload
 
     # -- semaphores (created lazily on the loop thread) ---------------------------------
 
@@ -218,7 +395,7 @@ _DEFAULT_LOCK = threading.Lock()
 
 
 def default_pump():
-    """The process-wide shared pump (unbounded limits)."""
+    """The process-wide shared pump (unbounded limits, no resilience)."""
     global _DEFAULT_PUMP
     with _DEFAULT_LOCK:
         if _DEFAULT_PUMP is None:

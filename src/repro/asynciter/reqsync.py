@@ -22,6 +22,24 @@ Two execution modes:
 line blocking instead of completion order), which lets the rewriter pull a
 ReqSync above order-sensitive operators without breaking their output
 order.
+
+Graceful degradation (``on_error``)
+-----------------------------------
+
+The paper assumed reliable engines; our fault model does not.  When a
+call *fails* (exhausted retries, hard error, circuit breaker open), the
+``on_error`` policy decides the fate of every tuple referencing it:
+
+- ``"raise"`` (default, the historical behaviour): abort the query with
+  an :class:`~repro.util.errors.ExecutionError` naming the destination;
+- ``"drop"``: treat the failure like a zero-row result — the tuples are
+  *cancelled*, the query completes on the surviving data;
+- ``"null"``: treat the failure like a single all-NULL result row — the
+  tuples complete with NULLs in the externally supplied attributes
+  (outer-join-style degradation).
+
+``call_errors`` / ``tuples_dropped_on_error`` / ``values_nulled_on_error``
+expose how much degradation a query absorbed.
 """
 
 from collections import deque
@@ -32,6 +50,27 @@ from repro.util.errors import ExecutionError
 
 #: Safety valve so a lost completion signal cannot hang a query forever.
 DEFAULT_WAIT_TIMEOUT = 60.0
+
+#: ``on_error`` policies.
+ON_ERROR_RAISE = "raise"
+ON_ERROR_DROP = "drop"
+ON_ERROR_NULL = "null"
+ON_ERROR_POLICIES = (ON_ERROR_RAISE, ON_ERROR_DROP, ON_ERROR_NULL)
+
+
+class _NullResultRow:
+    """A result row whose every field reads as NULL (``None``)."""
+
+    __slots__ = ()
+
+    def __getitem__(self, field):
+        return None
+
+    def __repr__(self):
+        return "<null result row>"
+
+
+_NULL_RESULT_ROW = _NullResultRow()
 
 
 class _Buffered:
@@ -54,12 +93,20 @@ class ReqSync(Operator):
         stream=False,
         preserve_order=False,
         wait_timeout=DEFAULT_WAIT_TIMEOUT,
+        on_error=ON_ERROR_RAISE,
     ):
+        if on_error not in ON_ERROR_POLICIES:
+            raise ExecutionError(
+                "unknown on_error policy {!r}; expected one of {}".format(
+                    on_error, ON_ERROR_POLICIES
+                )
+            )
         self.child = child
         self.context = context
         self.stream = stream
         self.preserve_order = preserve_order
         self.wait_timeout = wait_timeout
+        self.on_error = on_error
         self.schema = child.schema
         self.children = (child,)
         # Buffering state (created at open()).
@@ -79,6 +126,10 @@ class ReqSync(Operator):
         #: the memory figure the paper's Example 2 placement discussion
         #: trades against concurrency.
         self.max_buffered = 0
+        # Degradation statistics (per-query error accounting).
+        self.call_errors = 0
+        self.tuples_dropped_on_error = 0
+        self.values_nulled_on_error = 0
 
     # -- operator lifecycle ------------------------------------------------------
 
@@ -114,7 +165,12 @@ class ReqSync(Operator):
             )
             for call_id in done:
                 if call_id in self._by_call:
-                    self._apply_completion(call_id, self.context.take_result(call_id))
+                    try:
+                        rows = self.context.take_result(call_id)
+                    except ExecutionError:
+                        self._degrade(call_id)
+                    else:
+                        self._apply_completion(call_id, rows)
 
     def close(self):
         if self._by_call:
@@ -132,8 +188,30 @@ class ReqSync(Operator):
             modes.append("stream")
         if self.preserve_order:
             modes.append("ordered")
+        if self.on_error != ON_ERROR_RAISE:
+            modes.append("on_error={}".format(self.on_error))
         suffix = " [{}]".format(", ".join(modes)) if modes else ""
         return "ReqSync{}".format(suffix)
+
+    # -- graceful degradation (failed calls) --------------------------------------
+
+    def _degrade(self, call_id):
+        """Apply the ``on_error`` policy to a failed call."""
+        if self.on_error == ON_ERROR_RAISE:
+            raise  # re-raise the ExecutionError from take_result
+        self.call_errors += 1
+        if self.on_error == ON_ERROR_DROP:
+            # A failure behaves like a zero-row result: every tuple
+            # referencing the call is cancelled.
+            dropped_before = self.tuples_cancelled
+            self._apply_completion(call_id, [])
+            self.tuples_dropped_on_error += self.tuples_cancelled - dropped_before
+        else:  # ON_ERROR_NULL
+            # A failure behaves like one all-NULL result row: the
+            # tuples complete with NULLs in the external attributes.
+            patched_before = self.values_patched
+            self._apply_completion(call_id, [_NULL_RESULT_ROW])
+            self.values_nulled_on_error += self.values_patched - patched_before
 
     # -- buffering ------------------------------------------------------------------
 

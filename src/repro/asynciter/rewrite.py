@@ -39,7 +39,6 @@ from repro.exec.aggregate import Aggregate
 from repro.exec.distinct import Distinct
 from repro.exec.filter import Filter
 from repro.exec.joins import CrossProduct, DependentJoin, NestedLoopJoin
-from repro.exec.limit import Limit
 from repro.exec.project import Project
 from repro.exec.sort import Sort
 from repro.exec.union import UnionAll
@@ -57,11 +56,15 @@ class RewriteSettings:
         pull_above_order_sensitive=False,
         consolidate=True,
         wait_timeout=None,
+        on_error=None,
     ):
         self.stream = stream
         self.pull_above_order_sensitive = pull_above_order_sensitive
         self.consolidate = consolidate
         self.wait_timeout = wait_timeout
+        #: Graceful-degradation policy for failed calls: "raise" (default),
+        #: "drop", or "null" — see :class:`~repro.asynciter.reqsync.ReqSync`.
+        self.on_error = on_error
 
 
 def apply_asynchronous_iteration(plan, context, settings=None):
@@ -169,6 +172,8 @@ def _make_reqsync(child, context, settings):
     kwargs = {"stream": settings.stream}
     if settings.wait_timeout is not None:
         kwargs["wait_timeout"] = settings.wait_timeout
+    if settings.on_error is not None:
+        kwargs["on_error"] = settings.on_error
     return ReqSync(child, context, **kwargs)
 
 

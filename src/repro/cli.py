@@ -14,10 +14,16 @@ Dot-commands: ``.help``, ``.tables``, ``.mode sync|async``,
 import argparse
 import sys
 
+from repro.asynciter.resilience import (
+    CircuitBreakerConfig,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.datasets import load_all
 from repro.storage import Database
 from repro.util.errors import ReproError
 from repro.web.cache import ResultCache
+from repro.web.faults import FaultModel
 from repro.web.latency import UniformLatency
 from repro.wsq import WsqEngine, format_table
 
@@ -45,7 +51,41 @@ def build_engine(args):
         seconds = args.latency / 1000.0
         latency = UniformLatency(seconds * 0.5, seconds * 1.5)
     cache = ResultCache() if args.cache else None
-    return WsqEngine(database=database, latency=latency, cache=cache)
+    faults, resilience = _chaos_config(args)
+    on_error = getattr(args, "on_error", None)
+    return WsqEngine(
+        database=database,
+        latency=latency,
+        cache=cache,
+        faults=faults,
+        resilience=resilience,
+        on_error=on_error,
+    )
+
+
+def _chaos_config(args):
+    """Fault model + resilience policy from the chaos CLI flags."""
+    fault_rate = getattr(args, "fault_rate", 0.0) or 0.0
+    hard_rate = getattr(args, "fault_hard_rate", 0.0) or 0.0
+    outages = getattr(args, "outage", None) or []
+    faults = None
+    if fault_rate > 0 or hard_rate > 0 or outages:
+        faults = FaultModel(
+            seed=getattr(args, "fault_seed", 0) or 0,
+            transient_rate=fault_rate,
+            hard_rate=hard_rate,
+            outages=outages,
+        )
+    retry_attempts = getattr(args, "retry_attempts", None)
+    call_timeout = getattr(args, "call_timeout", None)
+    resilience = None
+    if faults is not None or retry_attempts or call_timeout:
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=retry_attempts or 3),
+            call_timeout=call_timeout,
+            breaker=CircuitBreakerConfig(),
+        )
+    return faults, resilience
 
 
 def main(argv=None):
@@ -70,6 +110,48 @@ def main(argv=None):
     )
     parser.add_argument(
         "-c", "--command", help="run one statement and exit", default=None
+    )
+    chaos = parser.add_argument_group("chaos / resilience")
+    chaos.add_argument(
+        "--on-error",
+        choices=("raise", "drop", "null"),
+        default=None,
+        dest="on_error",
+        help="graceful-degradation policy for failed external calls",
+    )
+    chaos.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="probability of a transient fault per external call attempt",
+    )
+    chaos.add_argument(
+        "--fault-hard-rate",
+        type=float,
+        default=0.0,
+        help="probability of a hard (non-retryable) fault per request",
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-schedule seed"
+    )
+    chaos.add_argument(
+        "--outage",
+        action="append",
+        default=None,
+        metavar="ENGINE",
+        help="mark a search engine as down (repeatable)",
+    )
+    chaos.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        help="max attempts per external call (default 3 when chaos is on)",
+    )
+    chaos.add_argument(
+        "--call-timeout",
+        type=float,
+        default=None,
+        help="per-call timeout in seconds enforced by the pump",
     )
     args = parser.parse_args(argv)
 

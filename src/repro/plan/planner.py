@@ -34,19 +34,20 @@ from repro.exec import (
     TableScan,
 )
 from repro.plan.analysis import analyze_vtables, validate_bindings
-from repro.plan.binder import Binder, collect_aggregates, collect_names, conjuncts_of
+from repro.plan.binder import Binder, collect_aggregates, collect_names
 from repro.relational.expr import ColumnRef, make_conjunction
 from repro.relational.schema import Column, Schema
 from repro.sql import ast
 from repro.util.errors import BindingError, PlanError
-from repro.vtables.base import VirtualTableDef
 from repro.vtables.evscan import EVScan
 
 
 class PlannerOptions:
     """Planner knobs."""
 
-    def __init__(self, reorder=False, use_indexes=True, cost_reorder=False):
+    def __init__(
+        self, reorder=False, use_indexes=True, cost_reorder=False, on_error="raise"
+    ):
         #: Reorder FROM items so virtual tables follow their providers
         #: (otherwise the FROM order must already be feasible).
         self.reorder = reorder
@@ -58,6 +59,10 @@ class PlannerOptions:
         #: first (by row count) instead of FROM order — a coarse
         #: cost-based heuristic for nested-loop plans.
         self.cost_reorder = cost_reorder
+        #: Graceful-degradation policy for EVScan call failures in
+        #: synchronous plans ("raise" | "drop" | "null") — must match the
+        #: ReqSync policy for sync/async result equivalence under faults.
+        self.on_error = on_error
 
 
 class _Relation:
@@ -357,7 +362,7 @@ class Planner:
 
     def _attach_vtable(self, plan, relation):
         instance = relation.instance
-        scan = EVScan(instance)
+        scan = EVScan(instance, on_error=self.options.on_error)
         dependent = {}
         for param, provider in relation.usage.dependent_terms.items():
             if plan is None:

@@ -78,3 +78,33 @@ class PlaceholderError(ExecutionError):
 
 class VirtualTableError(ReproError):
     """A virtual-table implementation rejected its inputs."""
+
+
+class WebRequestError(ReproError):
+    """Base class for simulated network failures of an external request.
+
+    The paper assumed reliable engines; the resilience layer
+    (:mod:`repro.web.faults`, :mod:`repro.asynciter.resilience`)
+    deliberately departs from that and models the failures a real DB-IR
+    federation sees.  The split below drives retry classification.
+    """
+
+
+class TransientWebError(WebRequestError):
+    """A failure worth retrying: 5xx, connection reset, dropped packet."""
+
+
+class HardWebError(WebRequestError):
+    """A failure retries cannot fix: 4xx, malformed expression, auth."""
+
+
+class EngineOutageError(TransientWebError):
+    """The whole destination is down (connection refused / no route)."""
+
+
+class RequestTimeoutError(TransientWebError):
+    """A request exceeded its per-call timeout (a hung connection)."""
+
+
+class BreakerOpenError(WebRequestError):
+    """The circuit breaker for a destination is open: failing fast."""

@@ -24,6 +24,8 @@ Results are normalized to a list of field dicts, so the synchronous
 - ``WebPages`` → one dict per hit (possibly none — tuple cancellation).
 """
 
+import inspect
+
 from repro.relational.placeholder import Placeholder
 from repro.relational.schema import Schema
 from repro.util.errors import BindingError, VirtualTableError
@@ -34,22 +36,35 @@ class ExternalCall:
 
     ``key`` identifies the request for caching/debugging; ``destination``
     names the rate-limit bucket (the paper's per-destination counters).
+
+    ``async_factory`` may optionally accept a 0-based *attempt* argument;
+    the request pump passes the retry attempt through so fault injection
+    stays a stable function of ``(destination, request, attempt)``.
+    Zero-argument factories (pre-resilience call sites, tests) still
+    work: the attempt is simply not forwarded.
     """
 
-    __slots__ = ("key", "destination", "_sync_fn", "_async_factory")
+    __slots__ = ("key", "destination", "_sync_fn", "_async_factory", "_takes_attempt")
 
     def __init__(self, key, destination, sync_fn, async_factory):
         self.key = key
         self.destination = destination
         self._sync_fn = sync_fn
         self._async_factory = async_factory
+        try:
+            parameters = inspect.signature(async_factory).parameters
+            self._takes_attempt = len(parameters) >= 1
+        except (TypeError, ValueError):  # builtins / exotic callables
+            self._takes_attempt = False
 
     def execute_sync(self):
         """Blocking execution; returns a list of result-field dicts."""
         return self._sync_fn()
 
-    def execute_async(self):
+    def execute_async(self, attempt=0):
         """Return a coroutine producing the list of result-field dicts."""
+        if self._takes_attempt:
+            return self._async_factory(attempt)
         return self._async_factory()
 
     def __repr__(self):

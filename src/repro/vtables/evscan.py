@@ -4,28 +4,57 @@ This is the paper's Figure-2 operator: each ``open(bindings)`` issues one
 external call *synchronously* — the query processor idles for the whole
 round trip — then iterates the materialized result rows.  Asynchronous
 iteration replaces it with :class:`~repro.asynciter.aevscan.AEVScan`.
+
+``on_error`` mirrors the :class:`~repro.asynciter.reqsync.ReqSync`
+graceful-degradation policy so the sequential baseline degrades exactly
+like the asynchronous plan under the same fault schedule: ``"raise"``
+propagates the failure (default), ``"drop"`` behaves like a zero-row
+result, and ``"null"`` yields one row whose external attributes are NULL.
 """
 
 from repro.exec.operator import Operator
-from repro.util.errors import ExecutionError
+from repro.util.errors import ExecutionError, ReproError
 
 
 class EVScan(Operator):
     """Sequential scan of one virtual-table instance."""
 
-    def __init__(self, instance):
+    def __init__(self, instance, on_error="raise"):
+        if on_error not in ("raise", "drop", "null"):
+            raise ExecutionError(
+                "unknown on_error policy {!r}; expected raise/drop/null".format(
+                    on_error
+                )
+            )
         self.instance = instance
+        self.on_error = on_error
         self.schema = instance.schema
         self.children = ()
         self._rows = None
         self._position = 0
         self.calls_issued = 0
+        self.call_errors = 0
 
     def open(self, bindings=None):
         resolved = self.instance.resolve_bindings(bindings)
         call = self.instance.make_call(resolved)
         self.calls_issued += 1
-        result_rows = call.execute_sync()
+        try:
+            result_rows = call.execute_sync()
+        except Exception as exc:  # noqa: BLE001 - degraded per policy below
+            if self.on_error == "raise":
+                if isinstance(exc, ReproError):
+                    raise
+                raise ExecutionError(
+                    "external call to {!r} failed: {}".format(call.destination, exc)
+                ) from exc
+            self.call_errors += 1
+            if self.on_error == "drop":
+                result_rows = []
+            else:  # null
+                result_rows = [
+                    {field: None for field in self.instance.result_fields.values()}
+                ]
         self._rows = self.instance.complete_rows(resolved, result_rows)
         self._position = 0
 
@@ -43,4 +72,7 @@ class EVScan(Operator):
         self._position = 0
 
     def label(self):
-        return "EVScan: {}".format(self.instance.describe())
+        suffix = (
+            "" if self.on_error == "raise" else " [on_error={}]".format(self.on_error)
+        )
+        return "EVScan: {}{}".format(self.instance.describe(), suffix)

@@ -68,9 +68,9 @@ class WebCountInstance(VTableInstance):
             key=("count", client.name, expr_text),
             destination=client.name,
             sync_fn=lambda: [{"count": client.count(expr_text)}],
-            async_factory=lambda: _count_async(client, expr_text),
+            async_factory=lambda attempt=0: _count_async(client, expr_text, attempt),
         )
 
 
-async def _count_async(client, expr_text):
-    return [{"count": await client.count_async(expr_text)}]
+async def _count_async(client, expr_text, attempt=0):
+    return [{"count": await client.count_async(expr_text, attempt=attempt)}]

@@ -78,7 +78,9 @@ class WebPagesInstance(VTableInstance):
             key=("search", client.name, expr_text, limit),
             destination=client.name,
             sync_fn=lambda: _hit_rows(client.search(expr_text, limit)),
-            async_factory=lambda: _search_async(client, expr_text, limit),
+            async_factory=lambda attempt=0: _search_async(
+                client, expr_text, limit, attempt
+            ),
         )
 
 
@@ -86,5 +88,5 @@ def _hit_rows(hits):
     return [{"url": h.url, "rank": h.rank, "date": h.date} for h in hits]
 
 
-async def _search_async(client, expr_text, limit):
-    return _hit_rows(await client.search_async(expr_text, limit))
+async def _search_async(client, expr_text, limit, attempt=0):
+    return _hit_rows(await client.search_async(expr_text, limit, attempt=attempt))

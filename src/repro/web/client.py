@@ -1,4 +1,4 @@
-"""Clients that add latency (and caching) in front of a search engine.
+"""Clients that add latency (and caching, and faults) in front of a search engine.
 
 The engine computes answers instantly; the client charges the simulated
 network delay.  Synchronous calls block the calling thread (this is the
@@ -8,12 +8,37 @@ flight at once on one event loop — the request-pump side.
 
 A cache hit skips the delay entirely, modelling a local result cache that
 avoids the network round trip.
+
+Fault injection & resilience
+----------------------------
+
+With a :class:`~repro.web.faults.FaultModel` attached, each request
+*attempt* first consults the fault schedule (a stable function of
+``(engine, expr, attempt)``):
+
+- transient/hard faults charge one latency round trip, then raise —
+  the request went out and came back an error;
+- an engine outage raises immediately (connection refused is fast);
+- a hung request sleeps.  On the sync path the client itself enforces
+  the resilience policy's per-call timeout (there is no event loop to
+  do it), sleeping ``min(hang, timeout)`` before raising
+  :class:`~repro.util.errors.RequestTimeoutError`; on the async path
+  the hang sleeps under the pump's ``asyncio.wait_for``.
+
+The *sync* methods additionally run the shared
+:class:`~repro.asynciter.resilience.RetryPolicy` retry loop internally;
+on the async path the pump owns retries.  Both paths therefore retry the
+same attempts of the same requests, so a faulted workload yields
+identical results in sequential and asynchronous execution.
 """
 
 import asyncio
 import time
 
+from repro.asynciter.resilience import run_sync_with_retries
+from repro.util.errors import RequestTimeoutError
 from repro.web.cache import ResultCache
+from repro.web.faults import HANG, OUTAGE
 
 
 class SearchClient:
@@ -25,16 +50,34 @@ class SearchClient:
     network requests beyond the initial search)" (paper Section 3).  A
     ranked search for *limit* hits costs ``ceil(limit / page_size)``
     sequential round trips; counts cost one.
+
+    ``faults`` is an optional :class:`~repro.web.faults.FaultModel`;
+    ``resilience`` an optional
+    :class:`~repro.asynciter.resilience.ResiliencePolicy` used by the
+    sync path's internal retry loop (the pump applies the same policy on
+    the async path).
     """
 
-    def __init__(self, engine, latency=None, cache=None, page_size=10):
+    def __init__(
+        self,
+        engine,
+        latency=None,
+        cache=None,
+        page_size=10,
+        faults=None,
+        resilience=None,
+    ):
         if page_size < 1:
             raise ValueError("page size must be positive")
         self.engine = engine
         self.latency = latency
         self.cache = cache
         self.page_size = page_size
-        self.requests_sent = 0  # actual (non-cache-hit) requests
+        self.faults = faults
+        self.resilience = resilience
+        self.requests_sent = 0  # actual (non-cache-hit) request round trips
+        self.faults_seen = 0  # injected faults observed by this client
+        self.retries = 0  # sync-path retry attempts
 
     @property
     def name(self):
@@ -47,8 +90,13 @@ class SearchClient:
         cached = self._cache_get(key)
         if cached is not None:
             return cached
-        self._sleep(expr_text)
-        result = self.engine.count(expr_text)
+
+        def attempt(n):
+            self._fault_gate_sync(expr_text, n)
+            self._sleep(expr_text)
+            return self.engine.count(expr_text)
+
+        result = self._retry_sync(expr_text, attempt)
         self._cache_put(key, result)
         return result
 
@@ -57,29 +105,38 @@ class SearchClient:
         cached = self._cache_get(key)
         if cached is not None:
             return cached
-        for _ in range(self._pages_for(limit)):
-            self._sleep(expr_text)
-        result = self.engine.search(expr_text, limit)
+
+        def attempt(n):
+            self._fault_gate_sync(expr_text, n)
+            for _ in range(self._pages_for(limit)):
+                self._sleep(expr_text)
+            return self.engine.search(expr_text, limit)
+
+        result = self._retry_sync(expr_text, attempt)
         self._cache_put(key, result)
         return result
 
     # -- asynchronous (request pump) -------------------------------------------
 
-    async def count_async(self, expr_text):
+    async def count_async(self, expr_text, attempt=0):
+        """One *attempt* of an asynchronous count (the pump retries)."""
         key = ResultCache.key(self.engine.name, "count", expr_text)
         cached = self._cache_get(key)
         if cached is not None:
             return cached
+        await self._fault_gate_async(expr_text, attempt)
         await self._async_sleep(expr_text)
         result = self.engine.count(expr_text)
         self._cache_put(key, result)
         return result
 
-    async def search_async(self, expr_text, limit):
+    async def search_async(self, expr_text, limit, attempt=0):
+        """One *attempt* of an asynchronous search (the pump retries)."""
         key = ResultCache.key(self.engine.name, "search", expr_text, limit)
         cached = self._cache_get(key)
         if cached is not None:
             return cached
+        await self._fault_gate_async(expr_text, attempt)
         # Result pages arrive sequentially even on the async path: page
         # k+1 cannot be requested before page k's response names it.
         for _ in range(self._pages_for(limit)):
@@ -90,6 +147,84 @@ class SearchClient:
 
     def _pages_for(self, limit):
         return max(1, -(-limit // self.page_size))  # ceil, at least one page
+
+    # -- fault injection ------------------------------------------------------------
+
+    def _retry_sync(self, expr_text, attempt_fn):
+        if self.resilience is None:
+            return attempt_fn(0)
+
+        def on_retry(attempt, exc):
+            self.retries += 1
+
+        return run_sync_with_retries(
+            (self.engine.name, expr_text),
+            attempt_fn,
+            self.resilience,
+            on_retry=on_retry,
+        )
+
+    def _next_fault(self, expr_text, attempt):
+        if self.faults is None:
+            return None
+        fault = self.faults.fault_for(self.engine.name, expr_text, attempt)
+        if fault is not None:
+            self.faults_seen += 1
+        return fault
+
+    def _fault_gate_sync(self, expr_text, attempt):
+        fault = self._next_fault(expr_text, attempt)
+        if fault is None:
+            return
+        if fault.kind == OUTAGE:
+            raise fault.error  # connection refused: no round trip charged
+        if fault.kind == HANG:
+            self.requests_sent += 1
+            timeout = (
+                self.resilience.call_timeout if self.resilience is not None else None
+            )
+            wait = (
+                fault.hang_seconds
+                if timeout is None
+                else min(fault.hang_seconds, timeout)
+            )
+            if wait > 0:
+                time.sleep(wait)
+            raise RequestTimeoutError(
+                "request to {!r} for {!r} hung (gave up after {:.3f}s)".format(
+                    self.engine.name, expr_text, wait
+                )
+            )
+        # Transient or hard: the round trip happened and returned an error.
+        self.requests_sent += 1
+        delay = self._delay(expr_text)
+        if delay > 0:
+            time.sleep(delay)
+        raise fault.error
+
+    async def _fault_gate_async(self, expr_text, attempt):
+        fault = self._next_fault(expr_text, attempt)
+        if fault is None:
+            return
+        if fault.kind == OUTAGE:
+            raise fault.error
+        if fault.kind == HANG:
+            self.requests_sent += 1
+            # Hang under the pump's asyncio.wait_for; if no timeout is
+            # configured the hang eventually resolves into a timeout
+            # error itself, mirroring the sync path.
+            if fault.hang_seconds > 0:
+                await asyncio.sleep(fault.hang_seconds)
+            raise RequestTimeoutError(
+                "request to {!r} for {!r} hung (gave up after {:.3f}s)".format(
+                    self.engine.name, expr_text, fault.hang_seconds
+                )
+            )
+        self.requests_sent += 1
+        delay = self._delay(expr_text)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        raise fault.error
 
     # -- internals ----------------------------------------------------------------
 

@@ -3,7 +3,7 @@
 import time
 
 from repro.asynciter.context import AsyncContext
-from repro.asynciter.pump import default_pump
+from repro.asynciter.pump import RequestPump, default_pump
 from repro.asynciter.rewrite import RewriteSettings, apply_asynchronous_iteration
 from repro.exec.operator import execute
 from repro.plan.planner import Planner, PlannerOptions
@@ -63,18 +63,43 @@ class WsqEngine:
         rewrite_settings=None,
         dedup_calls=True,
         cost_model=None,
+        faults=None,
+        resilience=None,
+        on_error=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
         self.latency = latency
         self.cache = cache
-        self.pump = pump or default_pump()
+        self.faults = faults
+        self.resilience = resilience
+        self.on_error = on_error if on_error is not None else "raise"
+        if pump is None:
+            if resilience is not None:
+                # A resilient engine gets its own pump: attaching the
+                # policy to the shared default pump would change every
+                # other engine in the process.
+                pump = RequestPump(name="reqpump-resilient", resilience=resilience)
+            else:
+                pump = default_pump()
+        elif resilience is not None:
+            pump.resilience = resilience
+        self.pump = pump
         self.dedup_calls = dedup_calls
         self.cost_model = cost_model
         self.planner_options = planner_options or PlannerOptions()
         self.rewrite_settings = rewrite_settings or RewriteSettings()
+        if on_error is not None:
+            self.planner_options.on_error = on_error
+            self.rewrite_settings.on_error = on_error
         self.clients = {
-            name: SearchClient(self.web.engine(name), latency=latency, cache=cache)
+            name: SearchClient(
+                self.web.engine(name),
+                latency=latency,
+                cache=cache,
+                faults=faults,
+                resilience=resilience,
+            )
             for name in self.web.engine_names()
         }
         self.fetch_service = self.web.fetch_service(latency=latency, cache=cache)
@@ -253,6 +278,7 @@ class WsqEngine:
             name: client.requests_sent for name, client in self.clients.items()
         }
         cache_hits_before = self.cache.hits if self.cache is not None else 0
+        pump_before = self.pump.stats.snapshot()
         started = time.perf_counter()
         rows = list(execute(wrapped))
         elapsed = time.perf_counter() - started
@@ -267,14 +293,26 @@ class WsqEngine:
         if context is not None:
             deltas["dedup_hits"] = context.dedup_hits
             deltas["calls_registered"] = context.calls_registered
+        # Degradation / resilience accounting (only when anything happened,
+        # so fault-free profiles render exactly as before).
+        call_errors = _sum_plan_attr(wrapped, "call_errors")
+        if context is not None:
+            call_errors = max(call_errors, context.call_errors)
+        if call_errors:
+            deltas["call_errors"] = call_errors
+        pump_after = self.pump.stats.snapshot()
+        for counter in ("retries", "timeouts", "breaker_open_rejections"):
+            moved = pump_after[counter] - pump_before[counter]
+            if moved:
+                deltas[counter] = moved
         return ProfileReport(sql, mode, result, stats, deltas)
 
     # -- statistics ------------------------------------------------------------
 
     def stats(self):
-        """Aggregate engine/pump/cache statistics."""
+        """Aggregate engine/pump/cache/fault statistics."""
         payload = {
-            "pump": self.pump.stats.snapshot(),
+            "pump": self.pump.snapshot(),
             "engines": {
                 name: client.engine.stats() for name, client in self.clients.items()
             },
@@ -284,7 +322,21 @@ class WsqEngine:
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
+        if self.faults is not None:
+            payload["faults"] = self.faults.snapshot()
+            payload["client_retries"] = {
+                name: client.retries for name, client in self.clients.items()
+            }
         return payload
+
+
+def _sum_plan_attr(plan, attribute):
+    """Sum *attribute* over a (possibly profile-wrapped) plan tree."""
+    inner = getattr(plan, "inner", plan)
+    total = getattr(inner, attribute, 0) or 0
+    for child in plan.children:
+        total += _sum_plan_attr(child, attribute)
+    return total
 
 
 def _has_external_scan(plan):

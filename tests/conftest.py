@@ -9,7 +9,7 @@ import pytest
 
 from repro.datasets import load_all
 from repro.storage import Database
-from repro.web.corpus import CorpusConfig, build_corpus
+from repro.web.corpus import CorpusConfig
 from repro.web.world import SimulatedWeb, default_web
 from repro.wsq import WsqEngine
 

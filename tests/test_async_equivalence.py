@@ -6,7 +6,6 @@ plan must return exactly the same multiset of rows as the sequential
 plan.  This is the core correctness contract of the rewrite algorithm.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """The interactive shell's non-interactive surface."""
 
-import pytest
-
 from repro.cli import _dot_command, _run_statement, build_engine, main
 
 

@@ -1,7 +1,5 @@
 """Disk manager and heap files, in memory and on disk."""
 
-import os
-
 import pytest
 
 from repro.storage.buffer import BufferPool

@@ -7,7 +7,7 @@ import pytest
 from repro.util.errors import VirtualTableError
 from repro.web.cache import ResultCache
 from repro.web.client import SearchClient
-from repro.web.fetch import FetchService, render_html
+from repro.web.fetch import render_html
 from repro.web.latency import FixedLatency, UniformLatency, ZeroLatency
 
 

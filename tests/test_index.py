@@ -1,6 +1,5 @@
 """Positional inverted index: phrase and proximity matching."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Cross-module integration: persistence + WSQ, the crawler loop, limits."""
 
-import pytest
-
 from repro.asynciter.pump import PumpLimits, RequestPump
 from repro.datasets import load_all
 from repro.relational.types import DataType

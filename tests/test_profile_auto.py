@@ -1,7 +1,5 @@
 """Profiling, auto mode, and cost-based reordering."""
 
-import pytest
-
 from repro.plan.cost import CostModel
 from repro.plan.planner import Planner, PlannerOptions
 from repro.sql.parser import parse_select

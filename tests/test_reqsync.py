@@ -6,7 +6,6 @@ down in isolation from SQL planning.
 """
 
 import asyncio
-import threading
 import time
 
 import pytest

@@ -11,21 +11,9 @@ from repro.asynciter.rewrite import (
     apply_asynchronous_iteration,
     filled_columns,
 )
-from repro.exec import (
-    Aggregate,
-    AggregateSpec,
-    CrossProduct,
-    DependentJoin,
-    Distinct,
-    Filter,
-    Limit,
-    Project,
-    Sort,
-    TableScan,
-)
+from repro.exec import DependentJoin, Project, TableScan
 from repro.relational.schema import Column, Schema
 from repro.relational.types import DataType
-from repro.vtables.evscan import EVScan
 
 
 def context():

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.exec import collect
 from repro.relational.placeholder import Placeholder, is_placeholder
 from repro.relational.types import DataType
 from repro.util.errors import BindingError, VirtualTableError

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.storage import Database
 from repro.util.errors import PlanError
 from repro.web.cache import ResultCache
 from repro.web.latency import FixedLatency
