@@ -17,17 +17,27 @@ lease-counted so every registrant can consume them.
 """
 
 import threading
-import time
 
+from repro.obs.trace import CALL_DEDUP
 from repro.util.errors import ExecutionError
+from repro.util.timing import resolve_clock
 
 
 class AsyncContext:
-    """Result store + producer/consumer synchronization for one query."""
+    """Result store + producer/consumer synchronization for one query.
 
-    def __init__(self, pump, dedup=True):
+    ``tracer``/``query_id`` are the observability correlation handles:
+    every call registered through this context carries *query_id* into
+    the pump's lifecycle events, and dedup hits (which never reach the
+    pump) are traced here.
+    """
+
+    def __init__(self, pump, dedup=True, tracer=None, query_id=None):
         self.pump = pump
         self.dedup = dedup
+        self.tracer = tracer
+        self.query_id = query_id
+        self.clock = resolve_clock(getattr(pump, "clock", None))
         self._cond = threading.Condition()
         self._results = {}  # call_id -> list of result-field dicts
         self._errors = {}  # call_id -> Exception
@@ -50,8 +60,16 @@ class AsyncContext:
                 with self._cond:
                     self._leases[existing] += 1
                 self.dedup_hits += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        CALL_DEDUP,
+                        call_id=existing,
+                        query_id=self.query_id,
+                        destination=call.destination,
+                        key=str(call.key),
+                    )
                 return existing
-        call_id = self.pump.register(call, self._on_complete)
+        call_id = self.pump.register(call, self._on_complete, query_id=self.query_id)
         self.calls_registered += 1
         with self._cond:
             self._leases[call_id] = 1
@@ -89,7 +107,7 @@ class AsyncContext:
         names the destinations still outstanding and the elapsed time,
         so a hung call is diagnosable instead of a bare timeout.
         """
-        started = time.perf_counter()
+        started = self.clock.now()
         with self._cond:
             while True:
                 done = {
@@ -100,7 +118,7 @@ class AsyncContext:
                 if done:
                     return done
                 if not self._cond.wait(timeout=timeout):
-                    elapsed = time.perf_counter() - started
+                    elapsed = self.clock.now() - started
                     destinations = sorted(
                         {
                             str(self._dest_of.get(cid, "unknown"))

@@ -16,16 +16,39 @@ engines): with a :class:`~repro.asynciter.resilience.ResiliencePolicy`
 attached, every call runs under a per-attempt ``asyncio.wait_for``
 timeout, transient failures are retried with deterministic backoff, and a
 per-destination :class:`~repro.asynciter.resilience.CircuitBreaker` fails
-fast while a destination is down.  The extended statistics (``retries``,
-``timeouts``, ``breaker_open_rejections``, per-destination breakdown)
-make the machinery observable.
+fast while a destination is down.
+
+Observability: the pump's statistics (:class:`_PumpStats`) are a view
+over a :class:`~repro.obs.metrics.MetricsRegistry` — counters and the
+in-flight gauge live there, and every settled call feeds per-destination
+queue-wait / service / end-to-end latency histograms (p50/p95/p99 via
+``pump.metrics``).  With a :class:`~repro.obs.trace.Tracer` attached the
+pump additionally emits the request-lifecycle event chain
+``register → enqueue → issue → (retry|timeout|breaker_reject)* →
+complete|cancel|fail``, correlated by call id and the registrant's
+query id.  Without a tracer each would-be event costs one ``None``
+check.
 """
 
 import asyncio
 import threading
+import time
 
 from repro.asynciter.resilience import CircuitBreaker
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    CALL_BREAKER_REJECT,
+    CALL_CANCEL,
+    CALL_COMPLETE,
+    CALL_ENQUEUE,
+    CALL_FAIL,
+    CALL_ISSUE,
+    CALL_REGISTER,
+    CALL_RETRY,
+    CALL_TIMEOUT,
+)
 from repro.util.errors import BreakerOpenError, ExecutionError, RequestTimeoutError
+from repro.util.timing import resolve_clock
 
 
 class PumpLimits:
@@ -54,77 +77,153 @@ _DEST_COUNTER_KEYS = (
     "breaker_open_rejections",
 )
 
+#: Histogram kinds the pump observes per settled call.
+_LATENCY_KINDS = ("queue_wait", "service", "e2e")
+
 
 class _PumpStats:
-    def __init__(self):
-        self.registered = 0
-        self.completed = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.in_flight = 0
-        self.max_in_flight = 0
-        # Resilience counters.
-        self.retries = 0
-        self.timeouts = 0
-        self.breaker_open_rejections = 0
-        self.per_destination = {}  # destination -> counter dict
-        self.lock = threading.Lock()
+    """Pump statistics, backed by a :class:`MetricsRegistry`.
 
-    def destination(self, destination):
-        """The per-destination counter dict (call with ``lock`` held)."""
-        counters = self.per_destination.get(destination)
-        if counters is None:
-            counters = {key: 0 for key in _DEST_COUNTER_KEYS}
-            self.per_destination[destination] = counters
-        return counters
+    The public surface is unchanged from the counter-field era —
+    ``snapshot()`` returns the same dict shape, ``bump`` increments one
+    global and one per-destination counter — but the storage is the
+    registry, so anything reading ``pump.metrics`` (exporters, the CLI's
+    ``--metrics``, later subsystems) sees the same numbers with no
+    double accounting.
+    """
 
-    def bump(self, destination, key):
+    def __init__(self, metrics=None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.lock = threading.Lock()  # guards the destination set
+        self._destinations = set()
+
+    # -- write side -----------------------------------------------------------
+
+    def bump(self, destination, key, amount=1):
         with self.lock:
-            setattr(self, key, getattr(self, key) + 1)
-            self.destination(destination)[key] += 1
+            self._destinations.add(destination)
+        self.metrics.counter("pump." + key).inc(amount)
+        self.metrics.counter("pump." + key, destination=destination).inc(amount)
+
+    def enter_flight(self):
+        """Returns the new in-flight depth (for max tracking/tracing)."""
+        return self.metrics.gauge("pump.in_flight").inc()
+
+    def exit_flight(self):
+        self.metrics.gauge("pump.in_flight").dec()
+
+    def observe_latency(self, kind, destination, seconds):
+        # "request.*" (not "pump.*"): the sequential EVScan path feeds
+        # the same histograms, so per-destination percentiles compare
+        # across modes.
+        self.metrics.observe(
+            "request.{}_seconds".format(kind), seconds, destination=destination
+        )
+
+    # -- read side ------------------------------------------------------------
 
     def snapshot(self):
+        counter = self.metrics.counter_value
+        gauge = self.metrics.gauge("pump.in_flight")
         with self.lock:
-            settled = self.completed + self.failed + self.cancelled
-            return {
-                "registered": self.registered,
-                "completed": self.completed,
-                "failed": self.failed,
-                "cancelled": self.cancelled,
-                "in_flight": self.in_flight,
-                "max_in_flight": self.max_in_flight,
-                "retries": self.retries,
-                "timeouts": self.timeouts,
-                "breaker_open_rejections": self.breaker_open_rejections,
-                # Registered but neither executing nor settled: the
-                # paper's "placed on a queue" calls awaiting a limit slot.
-                "queued": max(0, self.registered - settled - self.in_flight),
-                "per_destination": {
-                    dest: dict(counters)
-                    for dest, counters in self.per_destination.items()
-                },
+            destinations = sorted(self._destinations)
+        payload = {key: counter("pump." + key) for key in _DEST_COUNTER_KEYS}
+        payload["in_flight"] = gauge.value
+        payload["max_in_flight"] = gauge.max_value
+        settled = (
+            payload["completed"] + payload["failed"] + payload["cancelled"]
+        )
+        # Registered but neither executing nor settled: the paper's
+        # "placed on a queue" calls awaiting a limit slot.
+        payload["queued"] = max(
+            0, payload["registered"] - settled - payload["in_flight"]
+        )
+        payload["per_destination"] = {
+            destination: {
+                key: counter("pump." + key, destination=destination)
+                for key in _DEST_COUNTER_KEYS
             }
+            for destination in destinations
+        }
+        return payload
+
+    def latencies(self):
+        """Per-destination latency summaries (p50/p95/p99, mean, count)."""
+        with self.lock:
+            destinations = sorted(self._destinations)
+        table = {}
+        for destination in destinations:
+            summaries = {}
+            for kind in _LATENCY_KINDS:
+                histogram = self.metrics.histogram(
+                    "request.{}_seconds".format(kind), destination=destination
+                )
+                if histogram.count:
+                    summaries[kind] = histogram.summary()
+            if summaries:
+                table[destination] = summaries
+        return table
+
+
+class _CallTiming:
+    """Registration/issue timestamps for one in-flight call.
+
+    ``finished_at`` is stamped inside the concurrency slot, *before* the
+    semaphore is released: the settlement callback runs later (on the
+    future's done-callback), and using its wall-clock would overstate
+    service time by the scheduling lag — enough to make the trace show
+    ``limit + 1`` overlapping requests under a concurrency limit.
+    """
+
+    __slots__ = ("registered_at", "issued_at", "finished_at", "query_id", "attempts")
+
+    def __init__(self, registered_at, query_id):
+        self.registered_at = registered_at
+        self.issued_at = None
+        self.finished_at = None
+        self.query_id = query_id
+        self.attempts = 0
 
 
 class RequestPump:
     """Issues external calls concurrently on a background event loop."""
 
-    def __init__(self, limits=None, name="reqpump", resilience=None):
+    def __init__(
+        self,
+        limits=None,
+        name="reqpump",
+        resilience=None,
+        tracer=None,
+        metrics=None,
+        clock=None,
+    ):
         self.limits = limits or PumpLimits()
         self.name = name
         self.resilience = resilience  # a ResiliencePolicy, or None
-        self.stats = _PumpStats()
+        self.tracer = tracer  # a repro.obs.trace.Tracer, or None
+        self.clock = resolve_clock(
+            clock
+            if clock is not None
+            else (tracer.clock if tracer is not None else None)
+        )
+        self.stats = _PumpStats(metrics)
         self._lock = threading.Lock()
-        # Guards _futures against concurrent mutation from the query
-        # thread (register/cancel) and the loop thread (settlement).
+        # Guards _futures/_timings against concurrent mutation from the
+        # query thread (register/cancel) and the loop thread (settlement).
         self._futures_lock = threading.Lock()
         self._loop = None
         self._thread = None
         self._next_call_id = 0
         self._futures = {}  # call_id -> concurrent.futures.Future
+        self._timings = {}  # call_id -> _CallTiming
         self._global_sem = None
         self._dest_sems = {}
         self._breakers = {}  # destination -> CircuitBreaker
+
+    @property
+    def metrics(self):
+        """The backing registry (shared with ``stats``)."""
+        return self.stats.metrics
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -185,14 +284,16 @@ class RequestPump:
         thread.join(timeout=5)
         with self._futures_lock:
             self._futures = {}
+            self._timings = {}
 
     # -- registration ---------------------------------------------------------------
 
-    def register(self, call, on_complete):
+    def register(self, call, on_complete, query_id=None):
         """Launch *call* asynchronously; returns its call id.
 
         ``on_complete(call_id, rows, error)`` fires on the pump thread when
         the call finishes (exactly one of *rows*/*error* is not None).
+        *query_id* is a correlation id for tracing only.
         """
         self.ensure_started()
         with self._lock:
@@ -202,14 +303,25 @@ class RequestPump:
             self._next_call_id += 1
             loop = self._loop
         destination = call.destination
-        with self.stats.lock:
-            self.stats.registered += 1
-            self.stats.destination(destination)["registered"] += 1
+        registered_at = self.clock.now()
+        self.stats.bump(destination, "registered")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                CALL_REGISTER,
+                call_id=call_id,
+                query_id=query_id,
+                destination=destination,
+                ts=registered_at,
+                mode="async",
+                key=str(call.key) if call.key is not None else None,
+            )
         # Store the future *under the lock before the loop thread can
         # settle the call*: the settlement callback (attached below)
         # performs the pop, so a fast completion can no longer race the
         # assignment and leak the entry.
         with self._futures_lock:
+            self._timings[call_id] = _CallTiming(registered_at, query_id)
             future = asyncio.run_coroutine_threadsafe(
                 self._run_call(call_id, call, on_complete), loop
             )
@@ -218,6 +330,24 @@ class RequestPump:
             lambda fut: self._settle(call_id, destination, fut)
         )
         return call_id
+
+    def quiesce(self, timeout=1.0):
+        """Wait (real time) until every registered call has settled.
+
+        The query thread observes results via ``on_complete`` *before*
+        the loop thread runs the settlement callback, so a reader that
+        wants complete lifecycle traces/latency histograms right after a
+        query returns should quiesce first.  Returns True when the pump
+        settled within *timeout* seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._futures_lock:
+                if not self._futures:
+                    return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
 
     def cancel(self, call_id):
         """Best-effort cancellation of one registered call.
@@ -237,39 +367,83 @@ class RequestPump:
         """Final accounting for one call; runs exactly once per future."""
         with self._futures_lock:
             self._futures.pop(call_id, None)
+            timing = self._timings.pop(call_id, None)
         cancelled = future.cancelled()
         failed = False
         if not cancelled:
             error = future.exception()
             failed = error is not None or future.result() == "error"
-        with self.stats.lock:
-            counters = self.stats.destination(destination)
-            if cancelled:
-                self.stats.cancelled += 1
-                counters["cancelled"] += 1
-            elif failed:
-                self.stats.failed += 1
-                counters["failed"] += 1
-            else:
-                self.stats.completed += 1
-                counters["completed"] += 1
+        settled_at = None
+        if timing is not None:
+            settled_at = timing.finished_at  # stamped inside the slot
+        if settled_at is None:
+            settled_at = self.clock.now()
+        if cancelled:
+            outcome, event = "cancelled", CALL_CANCEL
+        elif failed:
+            outcome, event = "failed", CALL_FAIL
+        else:
+            outcome, event = "completed", CALL_COMPLETE
+        self.stats.bump(destination, outcome)
+        query_id = timing.query_id if timing is not None else None
+        if timing is not None:
+            if timing.issued_at is not None:
+                self.stats.observe_latency(
+                    "queue_wait", destination, timing.issued_at - timing.registered_at
+                )
+                self.stats.observe_latency(
+                    "service", destination, settled_at - timing.issued_at
+                )
+            self.stats.observe_latency(
+                "e2e", destination, settled_at - timing.registered_at
+            )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                event,
+                call_id=call_id,
+                query_id=query_id,
+                destination=destination,
+                ts=settled_at,
+                attempts=(timing.attempts if timing is not None else None),
+            )
 
     async def _run_call(self, call_id, call, on_complete):
         global_sem = self._semaphore()
         dest_sem = self._dest_semaphore(call.destination)
+        tracer = self.tracer
+        timing = self._timing_for(call_id)
         try:
+            if tracer is not None:
+                tracer.emit(
+                    CALL_ENQUEUE,
+                    call_id=call_id,
+                    query_id=(timing.query_id if timing is not None else None),
+                    destination=call.destination,
+                )
             async with _maybe(global_sem):
                 async with _maybe(dest_sem):
-                    with self.stats.lock:
-                        self.stats.in_flight += 1
-                        self.stats.max_in_flight = max(
-                            self.stats.max_in_flight, self.stats.in_flight
+                    issued_at = self.clock.now()
+                    if timing is not None:
+                        timing.issued_at = issued_at
+                    depth = self.stats.enter_flight()
+                    if tracer is not None:
+                        tracer.emit(
+                            CALL_ISSUE,
+                            call_id=call_id,
+                            query_id=(
+                                timing.query_id if timing is not None else None
+                            ),
+                            destination=call.destination,
+                            ts=issued_at,
+                            in_flight=depth,
                         )
                     try:
-                        rows = await self._execute_resilient(call)
+                        rows = await self._execute_resilient(call_id, call)
                     finally:
-                        with self.stats.lock:
-                            self.stats.in_flight -= 1
+                        if timing is not None:
+                            timing.finished_at = self.clock.now()
+                        self.stats.exit_flight()
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced to the query thread
@@ -278,12 +452,32 @@ class RequestPump:
         on_complete(call_id, rows, None)
         return "ok"
 
+    def _timing_for(self, call_id):
+        with self._futures_lock:
+            return self._timings.get(call_id)
+
+    def _trace_call(self, name, call_id, destination, **args):
+        tracer = self.tracer
+        if tracer is None:
+            return
+        timing = self._timing_for(call_id)
+        tracer.emit(
+            name,
+            call_id=call_id,
+            query_id=(timing.query_id if timing is not None else None),
+            destination=destination,
+            **args,
+        )
+
     # -- resilience ---------------------------------------------------------------
 
-    async def _execute_resilient(self, call):
+    async def _execute_resilient(self, call_id, call):
         """One call under the resilience policy: timeout, retry, breaker."""
         policy = self.resilience
+        timing = self._timing_for(call_id)
         if policy is None:
+            if timing is not None:
+                timing.attempts = 1
             return await call.execute_async()
         breaker = self._breaker_for(call.destination)
         retry = policy.retry
@@ -291,6 +485,9 @@ class RequestPump:
         while True:
             if breaker is not None and not breaker.allow():
                 self.stats.bump(call.destination, "breaker_open_rejections")
+                self._trace_call(
+                    CALL_BREAKER_REJECT, call_id, call.destination, attempt=attempt
+                )
                 raise BreakerOpenError(
                     "circuit breaker open for destination {!r}: "
                     "failing fast without a network round trip".format(
@@ -298,6 +495,8 @@ class RequestPump:
                     )
                 )
             try:
+                if timing is not None:
+                    timing.attempts = attempt + 1
                 coroutine = call.execute_async(attempt)
                 if policy.call_timeout is not None:
                     rows = await asyncio.wait_for(coroutine, policy.call_timeout)
@@ -315,13 +514,27 @@ class RequestPump:
                         )
                     )
                     self.stats.bump(call.destination, "timeouts")
+                    self._trace_call(
+                        CALL_TIMEOUT, call_id, call.destination, attempt=attempt
+                    )
                 elif isinstance(exc, RequestTimeoutError):
                     self.stats.bump(call.destination, "timeouts")
+                    self._trace_call(
+                        CALL_TIMEOUT, call_id, call.destination, attempt=attempt
+                    )
                 if breaker is not None:
                     breaker.record_failure()
                 if retry is not None and retry.should_retry(exc, attempt):
                     self.stats.bump(call.destination, "retries")
                     delay = retry.backoff_delay(call.key, attempt)
+                    self._trace_call(
+                        CALL_RETRY,
+                        call_id,
+                        call.destination,
+                        attempt=attempt,
+                        backoff_s=delay,
+                        error=type(exc).__name__,
+                    )
                     if delay > 0:
                         await asyncio.sleep(delay)
                     attempt += 1
@@ -354,6 +567,10 @@ class RequestPump:
         payload = self.stats.snapshot()
         payload["breakers"] = self.breakers()
         return payload
+
+    def latencies(self):
+        """Per-destination queue-wait/service/e2e summaries (p50/p95/p99)."""
+        return self.stats.latencies()
 
     # -- semaphores (created lazily on the loop thread) ---------------------------------
 

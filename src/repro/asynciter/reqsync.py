@@ -45,6 +45,15 @@ expose how much degradation a query absorbed.
 from collections import deque
 
 from repro.exec.operator import Operator
+from repro.obs.trace import (
+    BEGIN,
+    END,
+    SYNC_CANCEL_TUPLE,
+    SYNC_DEGRADE,
+    SYNC_PATCH,
+    SYNC_PROLIFERATE,
+    SYNC_WAIT,
+)
 from repro.relational.placeholder import Placeholder, row_pending_calls
 from repro.util.errors import ExecutionError
 
@@ -160,9 +169,25 @@ class ReqSync(Operator):
                 continue
             if not self._by_call:
                 return None
-            done = self.context.wait_for_any(
-                set(self._by_call), timeout=self.wait_timeout
-            )
+            outstanding = set(self._by_call)
+            tracer = self.context.tracer
+            if tracer is not None:
+                tracer.emit(
+                    SYNC_WAIT,
+                    kind=BEGIN,
+                    query_id=self.context.query_id,
+                    outstanding=len(outstanding),
+                    buffered=len(self._buffered),
+                )
+            try:
+                done = self.context.wait_for_any(
+                    outstanding, timeout=self.wait_timeout
+                )
+            finally:
+                if tracer is not None:
+                    tracer.emit(
+                        SYNC_WAIT, kind=END, query_id=self.context.query_id
+                    )
             for call_id in done:
                 if call_id in self._by_call:
                     try:
@@ -200,6 +225,15 @@ class ReqSync(Operator):
         if self.on_error == ON_ERROR_RAISE:
             raise  # re-raise the ExecutionError from take_result
         self.call_errors += 1
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.emit(
+                SYNC_DEGRADE,
+                call_id=call_id,
+                query_id=self.context.query_id,
+                destination=self.context.destination_of(call_id),
+                policy=self.on_error,
+            )
         if self.on_error == ON_ERROR_DROP:
             # A failure behaves like a zero-row result: every tuple
             # referencing the call is cancelled.
@@ -273,6 +307,7 @@ class ReqSync(Operator):
 
     def _apply_completion(self, call_id, result_rows):
         tids = self._by_call.pop(call_id, set())
+        tracer = self.context.tracer
         for tid in sorted(tids):
             tuple_state = self._buffered.get(tid)
             if tuple_state is None:
@@ -287,15 +322,35 @@ class ReqSync(Operator):
                 copy = _Buffered(list(tuple_state.values), set(tuple_state.pending))
                 self.values_patched += _patch_values(copy.values, call_id, extra)
                 self.tuples_proliferated += 1
-                self._register_copy(tid, copy)
-            self.values_patched += _patch_values(
-                tuple_state.values, call_id, result_rows[0]
-            )
+                self._register_copy(tid, copy, call_id)
+            patched = _patch_values(tuple_state.values, call_id, result_rows[0])
+            self.values_patched += patched
+            if tracer is not None:
+                tracer.emit(
+                    SYNC_PATCH,
+                    call_id=call_id,
+                    query_id=self.context.query_id,
+                    tid=tid,
+                    patched=patched,
+                    rows=len(result_rows),
+                    still_pending=len(tuple_state.pending),
+                )
             if not tuple_state.pending:
                 self._finish_tuple(tid, tuple_state)
 
     def _cancel_tuple(self, tid, tuple_state, call_id):
         self.tuples_cancelled += 1
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.emit(
+                SYNC_CANCEL_TUPLE,
+                call_id=call_id,
+                query_id=self.context.query_id,
+                tid=tid,
+                other_pending=sorted(
+                    c for c in tuple_state.pending if c != call_id
+                ),
+            )
         del self._buffered[tid]
         for other in tuple_state.pending:
             if other != call_id and other in self._by_call:
@@ -303,9 +358,22 @@ class ReqSync(Operator):
         # In ordered mode the tid stays in self._order and is skipped at
         # emission time (it is no longer in _buffered or _completed).
 
-    def _register_copy(self, original_tid, copy):
+    def _register_copy(self, original_tid, copy, call_id=None):
         tid = self._allocate_tid()
         self.tuples_buffered += 1
+        tracer = self.context.tracer
+        if tracer is not None:
+            # The trace shows the child row inheriting its parent's call
+            # id (the completing call) plus every *other* pending call id
+            # copied with it — Section 4.4's proliferation nuance.
+            tracer.emit(
+                SYNC_PROLIFERATE,
+                call_id=call_id,
+                query_id=self.context.query_id,
+                parent_tid=original_tid,
+                child_tid=tid,
+                inherited_calls=sorted(copy.pending),
+            )
         if copy.pending:
             self._buffered[tid] = copy
             for other in copy.pending:

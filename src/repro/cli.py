@@ -12,6 +12,7 @@ Dot-commands: ``.help``, ``.tables``, ``.mode sync|async``,
 """
 
 import argparse
+import json
 import sys
 
 from repro.asynciter.resilience import (
@@ -20,6 +21,7 @@ from repro.asynciter.resilience import (
     RetryPolicy,
 )
 from repro.datasets import load_all
+from repro.obs import Observability, render_waterfall, write_chrome_trace
 from repro.storage import Database
 from repro.util.errors import ReproError
 from repro.web.cache import ResultCache
@@ -36,8 +38,9 @@ HELP = """Statements end with ';'.  Dot-commands:
   .tables            list stored tables (and indexes)
   .mode [sync|async|auto]  show or set execution mode
   .explain <query>   show the (rewritten) plan without running it
-  .profile <query>   run with per-operator instrumentation
+  .profile <query>   run with per-operator instrumentation + trace
   .stats             pump / engine / cache statistics
+  .metrics           metrics-registry snapshot (latency percentiles)
   .quit              exit
 """
 
@@ -53,6 +56,13 @@ def build_engine(args):
     cache = ResultCache() if args.cache else None
     faults, resilience = _chaos_config(args)
     on_error = getattr(args, "on_error", None)
+    obs = None
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "waterfall", False)
+        or getattr(args, "metrics", False)
+    ):
+        obs = Observability.enabled()
     return WsqEngine(
         database=database,
         latency=latency,
@@ -60,6 +70,7 @@ def build_engine(args):
         faults=faults,
         resilience=resilience,
         on_error=on_error,
+        obs=obs,
     )
 
 
@@ -153,13 +164,33 @@ def main(argv=None):
         default=None,
         help="per-call timeout in seconds enforced by the pump",
     )
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a request-lifecycle trace and write Chrome-trace "
+        "JSON to FILE on exit (open in chrome://tracing or Perfetto)",
+    )
+    observability.add_argument(
+        "--waterfall",
+        action="store_true",
+        help="print an ASCII request waterfall after each statement",
+    )
+    observability.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics snapshot (percentile latencies) on exit",
+    )
     args = parser.parse_args(argv)
 
     engine = build_engine(args)
     mode = "sync" if args.sync else "async"
 
     if args.command is not None:
-        return _run_statement(engine, args.command, mode)
+        status = _run_statement(engine, args.command, mode, waterfall=args.waterfall)
+        _finish_observability(engine, args)
+        return status
 
     print(BANNER)
     buffer = []
@@ -169,6 +200,7 @@ def main(argv=None):
             line = input(prompt)
         except EOFError:
             print()
+            _finish_observability(engine, args)
             return 0
         except KeyboardInterrupt:
             buffer = []
@@ -178,13 +210,29 @@ def main(argv=None):
         if not buffer and stripped.startswith("."):
             mode = _dot_command(engine, stripped, mode)
             if mode is None:
+                _finish_observability(engine, args)
                 return 0
             continue
         buffer.append(line)
         if stripped.endswith(";"):
             statement = "\n".join(buffer)
             buffer = []
-            _run_statement(engine, statement, mode)
+            _run_statement(engine, statement, mode, waterfall=args.waterfall)
+
+
+def _finish_observability(engine, args):
+    """Write the trace file / metrics dump the observability flags asked for."""
+    if getattr(args, "trace", None) and engine.tracer is not None:
+        engine.pump.quiesce()
+        write_chrome_trace(args.trace, engine.tracer.events())
+        print(
+            "trace: {} event(s) -> {} (open in chrome://tracing or "
+            "https://ui.perfetto.dev)".format(len(engine.tracer), args.trace),
+            file=sys.stderr,
+        )
+    if getattr(args, "metrics", False):
+        engine.pump.quiesce()
+        print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
 
 
 def _dot_command(engine, line, mode):
@@ -224,15 +272,19 @@ def _dot_command(engine, line, mode):
         stats = engine.stats()
         for key, value in stats.items():
             print("  {}: {}".format(key, value))
+    elif command == ".metrics":
+        print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
     else:
         print("unknown command {!r}; try .help".format(command))
     return mode
 
 
-def _run_statement(engine, statement, mode):
+def _run_statement(engine, statement, mode, waterfall=False):
     statement = statement.strip().rstrip(";")
     if not statement:
         return 0
+    tracer = engine.tracer
+    events_before = len(tracer) if tracer is not None else 0
     try:
         result = engine.run(statement, mode=mode)
     except ReproError as exc:
@@ -243,6 +295,10 @@ def _run_statement(engine, statement, mode):
         print(
             "{} rows in {:.3f}s ({} mode)".format(len(result), result.elapsed, mode)
         )
+    if waterfall and tracer is not None:
+        engine.pump.quiesce()
+        # Only this statement's events (the ring may hold older queries).
+        print(render_waterfall(tracer.events()[events_before:]))
     return 0
 
 

@@ -1,0 +1,271 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+This is the aggregate complement of the tracer: cheap to keep *always
+on*, so steady-state surfaces (``engine.stats()``, the pump's
+``_PumpStats``) are backed by it rather than by ad-hoc counter fields.
+
+Histograms use fixed exponential buckets, so percentile queries
+(p50/p95/p99 of queue-wait, service, and end-to-end latency per
+destination) are O(buckets) with bounded error and constant memory —
+the standard Prometheus-style trade.  Observations also track exact
+count/sum/min/max, so means are exact even though percentiles are
+bucket-interpolated.
+
+Metric identity is ``(name, labels)`` where ``labels`` is a sorted tuple
+of ``(key, value)`` pairs; the common case is a single ``destination``
+label mirroring the pump's per-destination accounting.
+"""
+
+import bisect
+import threading
+
+
+def _labels_key(labels):
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+#: Default latency buckets (seconds): 100µs .. ~100s, ~1.47x steps.
+def exponential_buckets(start=1e-4, factor=1.4678, count=36):
+    edges = []
+    edge = start
+    for _ in range(count):
+        edges.append(edge)
+        edge *= factor
+    return edges
+
+
+DEFAULT_LATENCY_BUCKETS = exponential_buckets()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name, labels, lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount=1):
+        with self._lock:
+            self.value += amount
+            return self.value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. in-flight calls)."""
+
+    __slots__ = ("name", "labels", "value", "max_value", "_lock")
+
+    def __init__(self, name, labels, lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self.max_value = 0
+        self._lock = lock
+
+    def set(self, value):
+        with self._lock:
+            self.value = value
+            self.max_value = max(self.max_value, value)
+            return self.value
+
+    def inc(self, amount=1):
+        with self._lock:
+            self.value += amount
+            self.max_value = max(self.max_value, self.value)
+            return self.value
+
+    def dec(self, amount=1):
+        return self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max."""
+
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "counts",
+        "overflow",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_lock",
+    )
+
+    def __init__(self, name, labels, lock, buckets=None):
+        self.name = name
+        self.labels = labels
+        self.buckets = list(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        if self.buckets != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0  # observations above the last edge
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._lock = lock
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            index = bisect.bisect_left(self.buckets, value)
+            if index >= len(self.buckets):
+                self.overflow += 1
+            else:
+                self.counts[index] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """Value at quantile *q* in [0, 1], interpolated within a bucket.
+
+        Returns ``None`` with no observations.  Error is bounded by the
+        enclosing bucket's width; exact min/max clamp the tails.
+        """
+        with self._lock:
+            if self.count == 0:
+                return None
+            if q <= 0:
+                return self.min
+            if q >= 1:
+                return self.max
+            target = q * self.count
+            seen = 0.0
+            lower = 0.0
+            for edge, bucket_count in zip(self.buckets, self.counts):
+                if bucket_count:
+                    if seen + bucket_count >= target:
+                        fraction = (target - seen) / bucket_count
+                        estimate = lower + fraction * (edge - lower)
+                        return min(max(estimate, self.min), self.max)
+                    seen += bucket_count
+                lower = edge
+            return self.max  # overflow bucket
+
+    def summary(self):
+        with self._lock:
+            count, total = self.count, self.total
+            low, high = self.min, self.max
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": low,
+            "max": high,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled metrics with a JSON-able snapshot."""
+
+    def __init__(self, latency_buckets=None):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        self._latency_buckets = (
+            list(latency_buckets)
+            if latency_buckets is not None
+            else DEFAULT_LATENCY_BUCKETS
+        )
+
+    # -- accessors (get-or-create) --------------------------------------------
+
+    def counter(self, name, **labels):
+        key = (name, _labels_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(
+                    key, Counter(name, dict(labels), self._lock)
+                )
+        return counter
+
+    def gauge(self, name, **labels):
+        key = (name, _labels_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(
+                    key, Gauge(name, dict(labels), self._lock)
+                )
+        return gauge
+
+    def histogram(self, name, buckets=None, **labels):
+        key = (name, _labels_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    key,
+                    Histogram(
+                        name,
+                        dict(labels),
+                        self._lock,
+                        buckets if buckets is not None else self._latency_buckets,
+                    ),
+                )
+        return histogram
+
+    # -- convenience ----------------------------------------------------------
+
+    def inc(self, name, amount=1, **labels):
+        return self.counter(name, **labels).inc(amount)
+
+    def observe(self, name, value, **labels):
+        self.histogram(name, **labels).observe(value)
+
+    def counter_value(self, name, **labels):
+        counter = self._counters.get((name, _labels_key(labels)))
+        return counter.value if counter is not None else 0
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self):
+        """Everything, as plain dicts (stable key order)."""
+
+        def render_key(metric):
+            if not metric.labels:
+                return metric.name
+            label_text = ",".join(
+                "{}={}".format(k, v) for k, v in sorted(metric.labels.items())
+            )
+            return "{}{{{}}}".format(metric.name, label_text)
+
+        with self._lock:
+            counters = {render_key(c): c.value for c in self._counters.values()}
+            gauges = {
+                render_key(g): {"value": g.value, "max": g.max_value}
+                for g in self._gauges.values()
+            }
+            histogram_list = list(self._histograms.values())
+        histograms = {render_key(h): h.summary() for h in histogram_list}
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def __repr__(self):
+        return "MetricsRegistry({} counters, {} gauges, {} histograms)".format(
+            len(self._counters), len(self._gauges), len(self._histograms)
+        )

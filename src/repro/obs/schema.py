@@ -1,0 +1,64 @@
+"""A tiny structural validator for exported Chrome-trace JSON.
+
+Not a JSON-Schema engine (no third-party deps): just the handful of
+invariants the Trace Event Format requires and our exporter promises,
+enough for CI to reject a malformed artifact before a human ever opens
+it in Perfetto.  Returns a list of problem strings; empty means valid.
+"""
+
+_REQUIRED_TOP = ("traceEvents",)
+_VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C"}
+_NUMBER = (int, float)
+
+
+def validate_chrome_trace(payload):
+    """Validate *payload* (a parsed JSON object); returns error strings."""
+    errors = []
+    if not isinstance(payload, dict):
+        return ["top-level value must be an object, got {}".format(type(payload).__name__)]
+    for key in _REQUIRED_TOP:
+        if key not in payload:
+            errors.append("missing top-level key {!r}".format(key))
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("traceEvents must be a list")
+        return errors
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = "traceEvents[{}]".format(index)
+        if not isinstance(event, dict):
+            errors.append("{}: not an object".format(where))
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            errors.append("{}: bad or missing ph {!r}".format(where, phase))
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append("{}: missing name".format(where))
+        if "pid" not in event:
+            errors.append("{}: missing pid".format(where))
+        if phase == "M":
+            continue  # metadata events carry no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, _NUMBER) or isinstance(ts, bool) or ts < 0:
+            errors.append("{}: ts must be a non-negative number".format(where))
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, _NUMBER) or isinstance(dur, bool) or dur < 0:
+                errors.append("{}: X event needs non-negative dur".format(where))
+        if phase in ("i", "I") and event.get("s") not in (None, "g", "p", "t"):
+            errors.append("{}: instant scope must be g/p/t".format(where))
+    return errors
+
+
+def assert_valid_chrome_trace(payload):
+    """Raise ``ValueError`` with all problems if *payload* is invalid."""
+    errors = validate_chrome_trace(payload)
+    if errors:
+        raise ValueError(
+            "invalid Chrome trace ({} problem(s)):\n  {}".format(
+                len(errors), "\n  ".join(errors[:20])
+            )
+        )
+    return payload

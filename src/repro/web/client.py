@@ -66,6 +66,7 @@ class SearchClient:
         page_size=10,
         faults=None,
         resilience=None,
+        obs=None,
     ):
         if page_size < 1:
             raise ValueError("page size must be positive")
@@ -75,6 +76,7 @@ class SearchClient:
         self.page_size = page_size
         self.faults = faults
         self.resilience = resilience
+        self.obs = obs  # optional repro.obs.Observability bundle
         self.requests_sent = 0  # actual (non-cache-hit) request round trips
         self.faults_seen = 0  # injected faults observed by this client
         self.retries = 0  # sync-path retry attempts
@@ -179,7 +181,7 @@ class SearchClient:
         if fault.kind == OUTAGE:
             raise fault.error  # connection refused: no round trip charged
         if fault.kind == HANG:
-            self.requests_sent += 1
+            self._count_round_trip()
             timeout = (
                 self.resilience.call_timeout if self.resilience is not None else None
             )
@@ -196,7 +198,7 @@ class SearchClient:
                 )
             )
         # Transient or hard: the round trip happened and returned an error.
-        self.requests_sent += 1
+        self._count_round_trip()
         delay = self._delay(expr_text)
         if delay > 0:
             time.sleep(delay)
@@ -209,7 +211,7 @@ class SearchClient:
         if fault.kind == OUTAGE:
             raise fault.error
         if fault.kind == HANG:
-            self.requests_sent += 1
+            self._count_round_trip()
             # Hang under the pump's asyncio.wait_for; if no timeout is
             # configured the hang eventually resolves into a timeout
             # error itself, mirroring the sync path.
@@ -220,7 +222,7 @@ class SearchClient:
                     self.engine.name, expr_text, fault.hang_seconds
                 )
             )
-        self.requests_sent += 1
+        self._count_round_trip()
         delay = self._delay(expr_text)
         if delay > 0:
             await asyncio.sleep(delay)
@@ -234,21 +236,34 @@ class SearchClient:
         return self.latency.delay(self.engine.name, expr_text)
 
     def _sleep(self, expr_text):
-        self.requests_sent += 1
+        self._count_round_trip()
         delay = self._delay(expr_text)
         if delay > 0:
             time.sleep(delay)
 
     async def _async_sleep(self, expr_text):
-        self.requests_sent += 1
+        self._count_round_trip()
         delay = self._delay(expr_text)
         if delay > 0:
             await asyncio.sleep(delay)
 
+    def _count_round_trip(self):
+        self.requests_sent += 1
+        if self.obs is not None:
+            self.obs.metrics.inc("web.round_trips", engine=self.engine.name)
+
     def _cache_get(self, key):
         if self.cache is None:
             return None
-        return self.cache.get(key)
+        value = self.cache.get(key)
+        if value is not None and self.obs is not None:
+            self.obs.metrics.inc("web.cache_hits", engine=self.engine.name)
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "web.cache_hit", destination=self.engine.name, key=str(key)
+                )
+        return value
 
     def _cache_put(self, key, value):
         if self.cache is not None:

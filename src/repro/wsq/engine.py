@@ -1,16 +1,18 @@
 """The WSQ engine facade."""
 
-import time
-
 from repro.asynciter.context import AsyncContext
 from repro.asynciter.pump import RequestPump, default_pump
 from repro.asynciter.rewrite import RewriteSettings, apply_asynchronous_iteration
 from repro.exec.operator import execute
+from repro.obs import Observability
+from repro.obs.trace import BEGIN, END, QUERY_SPAN, Tracer
 from repro.plan.planner import Planner, PlannerOptions
 from repro.sql import ast
 from repro.sql.parser import parse, parse_select
 from repro.storage.database import Database
 from repro.util.errors import PlanError
+from repro.util.timing import resolve_clock
+from repro.vtables.evscan import EVScan
 from repro.vtables.webcount import WebCountDef
 from repro.vtables.webfetch import WebFetchDef, WebLinksDef
 from repro.vtables.webpages import WebPagesDef
@@ -45,6 +47,14 @@ class WsqEngine:
         process-wide one).
     planner_options / rewrite_settings:
         Pass-through knobs for planning and ReqSync placement.
+    obs:
+        An :class:`~repro.obs.Observability` bundle.  With one attached
+        (e.g. ``Observability.enabled()``), every query is traced —
+        request lifecycle, ReqSync activity, query spans — and the
+        engine gets a *dedicated* pump wired to the bundle's tracer,
+        metrics registry, and clock (attaching a tracer to the shared
+        process-wide pump would trace every other engine too).  Without
+        one, tracing is off and only the pump's always-on metrics run.
 
     For every engine name ``E`` the catalog has ``WebCount_E`` and
     ``WebPages_E``; the first engine (alphabetically) also provides plain
@@ -66,6 +76,7 @@ class WsqEngine:
         faults=None,
         resilience=None,
         on_error=None,
+        obs=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
@@ -73,17 +84,28 @@ class WsqEngine:
         self.cache = cache
         self.faults = faults
         self.resilience = resilience
+        self.obs = obs
+        self.clock = resolve_clock(obs.clock if obs is not None else None)
         self.on_error = on_error if on_error is not None else "raise"
         if pump is None:
-            if resilience is not None:
-                # A resilient engine gets its own pump: attaching the
-                # policy to the shared default pump would change every
-                # other engine in the process.
-                pump = RequestPump(name="reqpump-resilient", resilience=resilience)
+            if resilience is not None or obs is not None:
+                # A resilient or observed engine gets its own pump:
+                # attaching the policy/tracer to the shared default pump
+                # would change every other engine in the process.
+                pump = RequestPump(
+                    name="reqpump-engine",
+                    resilience=resilience,
+                    tracer=obs.tracer if obs is not None else None,
+                    metrics=obs.metrics if obs is not None else None,
+                    clock=self.clock,
+                )
             else:
                 pump = default_pump()
-        elif resilience is not None:
-            pump.resilience = resilience
+        else:
+            if resilience is not None:
+                pump.resilience = resilience
+            if obs is not None:
+                pump.tracer = obs.tracer
         self.pump = pump
         self.dedup_calls = dedup_calls
         self.cost_model = cost_model
@@ -99,6 +121,7 @@ class WsqEngine:
                 cache=cache,
                 faults=faults,
                 resilience=resilience,
+                obs=obs,
             )
             for name in self.web.engine_names()
         }
@@ -107,6 +130,7 @@ class WsqEngine:
         self._planner = Planner(
             self.database, self.vtables, options=self.planner_options
         )
+        self._fallback_query_ids = 0
 
     def _build_catalog(self):
         catalog = {}
@@ -126,6 +150,44 @@ class WsqEngine:
         catalog["WebLinks"] = WebLinksDef("WebLinks", self.fetch_service)
         return catalog
 
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The engine's tracer, or None when tracing is disabled."""
+        return self.obs.tracer if self.obs is not None else None
+
+    @property
+    def metrics(self):
+        """The request-metrics registry (the pump's backing store)."""
+        return self.pump.metrics
+
+    def _next_query_id(self, tracer):
+        if tracer is not None:
+            return tracer.next_query_id()
+        self._fallback_query_ids += 1
+        return self._fallback_query_ids - 1
+
+    def _instrument_plan(self, plan, tracer, query_id):
+        """Attach tracer/metrics/query-id to the plan's sync-path scans.
+
+        The async path is correlated through :class:`AsyncContext`; the
+        sequential :class:`EVScan` has no context, so the engine walks
+        the plan and hands each scan the same handles.
+        """
+        if isinstance(plan, EVScan):
+            plan.attach_observability(
+                tracer=tracer,
+                metrics=self.pump.metrics,
+                query_id=query_id,
+                clock=self.clock,
+            )
+        inner = getattr(plan, "inner", None)
+        if inner is not None:
+            self._instrument_plan(inner, tracer, query_id)
+        for child in plan.children:
+            self._instrument_plan(child, tracer, query_id)
+
     # -- planning -----------------------------------------------------------------
 
     def plan(self, sql, mode=ASYNC):
@@ -141,7 +203,13 @@ class WsqEngine:
         mode = self._resolve_mode(plan, mode)
         if mode == SYNC:
             return plan
-        context = AsyncContext(self.pump, dedup=self.dedup_calls)
+        tracer = self.tracer
+        context = AsyncContext(
+            self.pump,
+            dedup=self.dedup_calls,
+            tracer=tracer,
+            query_id=self._next_query_id(tracer),
+        )
         return apply_asynchronous_iteration(plan, context, self.rewrite_settings)
 
     def _resolve_mode(self, sync_plan, mode):
@@ -180,34 +248,46 @@ class WsqEngine:
 
     # -- execution ---------------------------------------------------------------------
 
-    def execute(self, sql, mode=ASYNC):
-        """Run a SELECT and materialize its result."""
-        query = parse_select(sql)
+    def _prepare(self, query, mode, tracer):
+        """Plan + rewrite + instrument one SELECT; returns (plan, mode, qid)."""
         plan = self._planner.plan(query)
         mode = self._resolve_mode(plan, mode)
+        query_id = self._next_query_id(tracer)
         if mode == ASYNC:
-            context = AsyncContext(self.pump, dedup=self.dedup_calls)
+            context = AsyncContext(
+                self.pump,
+                dedup=self.dedup_calls,
+                tracer=tracer,
+                query_id=query_id,
+            )
             plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
-        started = time.perf_counter()
-        rows = list(execute(plan))
-        elapsed = time.perf_counter() - started
+        if tracer is not None:
+            self._instrument_plan(plan, tracer, query_id)
+        return plan, mode, query_id
+
+    def _run_select(self, query, mode):
+        tracer = self.tracer
+        plan, mode, query_id = self._prepare(query, mode, tracer)
+        if tracer is not None:
+            tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode)
+        started = self.clock.now()
+        try:
+            rows = list(execute(plan))
+        finally:
+            if tracer is not None:
+                tracer.emit(QUERY_SPAN, kind=END, query_id=query_id)
+        elapsed = self.clock.now() - started
         return QueryResult(plan.schema.names(), rows, elapsed=elapsed)
+
+    def execute(self, sql, mode=ASYNC):
+        """Run a SELECT and materialize its result."""
+        return self._run_select(parse_select(sql), mode)
 
     def run(self, statement_sql, mode=ASYNC):
         """Execute any supported statement (SELECT or DDL/DML)."""
         statement = parse(statement_sql)
         if isinstance(statement, ast.SelectQuery):
-            plan = self._planner.plan(statement)
-            mode = self._resolve_mode(plan, mode)
-            if mode == ASYNC:
-                context = AsyncContext(self.pump, dedup=self.dedup_calls)
-                plan = apply_asynchronous_iteration(
-                    plan, context, self.rewrite_settings
-                )
-            started = time.perf_counter()
-            rows = list(execute(plan))
-            elapsed = time.perf_counter() - started
-            return QueryResult(plan.schema.names(), rows, elapsed=elapsed)
+            return self._run_select(statement, mode)
         if isinstance(statement, ast.Analyze):
             stats = self.database.analyze(statement.table)
             return QueryResult(
@@ -258,30 +338,52 @@ class WsqEngine:
     # -- profiling --------------------------------------------------------------
 
     def profile(self, sql, mode=ASYNC):
-        """Execute *sql* with per-operator instrumentation.
+        """Execute *sql* with per-operator instrumentation *and* tracing.
 
         Returns a :class:`~repro.wsq.profile.ProfileReport` carrying the
-        query result, per-operator row/time counters, and engine-level
-        deltas (requests sent, cache hits, dedup savings).
+        query result, per-operator row/time counters, engine-level
+        deltas (requests sent, cache hits, dedup savings), the trace
+        handle, and the per-external-request breakdown.  When the engine
+        has no tracer of its own, a temporary one is attached to the
+        pump for the duration of the run.
         """
         from repro.wsq.profile import ProfileReport, profile_plan
 
         query = parse_select(sql)
-        plan = self._planner.plan(query)
-        mode = self._resolve_mode(plan, mode)
-        context = None
-        if mode == ASYNC:
-            context = AsyncContext(self.pump, dedup=self.dedup_calls)
-            plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
-        wrapped, stats = profile_plan(plan)
-        requests_before = {
-            name: client.requests_sent for name, client in self.clients.items()
-        }
-        cache_hits_before = self.cache.hits if self.cache is not None else 0
-        pump_before = self.pump.stats.snapshot()
-        started = time.perf_counter()
-        rows = list(execute(wrapped))
-        elapsed = time.perf_counter() - started
+        tracer = self.tracer
+        borrowed_tracer = False
+        if tracer is None:
+            tracer = Tracer(clock=self.clock)
+            borrowed_tracer = True
+            self.pump.tracer = tracer
+        try:
+            plan, mode, query_id = self._prepare(query, mode, tracer)
+            # _prepare attached the engine tracer via self.tracer paths
+            # only for async contexts; re-instrument sync scans with the
+            # (possibly borrowed) tracer.
+            self._instrument_plan(plan, tracer, query_id)
+            wrapped, stats = profile_plan(
+                plan, clock=self.clock, tracer=tracer, query_id=query_id
+            )
+            context = _find_context(plan)
+            requests_before = {
+                name: client.requests_sent for name, client in self.clients.items()
+            }
+            cache_hits_before = self.cache.hits if self.cache is not None else 0
+            pump_before = self.pump.stats.snapshot()
+            tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode, sql=sql)
+            started = self.clock.now()
+            try:
+                rows = list(execute(wrapped))
+            finally:
+                tracer.emit(QUERY_SPAN, kind=END, query_id=query_id)
+            elapsed = self.clock.now() - started
+            # Let trailing settlement callbacks land so the report's
+            # per-request breakdown covers every call.
+            self.pump.quiesce(timeout=0.5)
+        finally:
+            if borrowed_tracer:
+                self.pump.tracer = None
         result = QueryResult(plan.schema.names(), rows, elapsed=elapsed)
         deltas = {
             "requests[{}]".format(name): client.requests_sent
@@ -305,7 +407,9 @@ class WsqEngine:
             moved = pump_after[counter] - pump_before[counter]
             if moved:
                 deltas[counter] = moved
-        return ProfileReport(sql, mode, result, stats, deltas)
+        return ProfileReport(
+            sql, mode, result, stats, deltas, trace=tracer, query_id=query_id
+        )
 
     # -- statistics ------------------------------------------------------------
 
@@ -320,6 +424,9 @@ class WsqEngine:
                 name: client.requests_sent for name, client in self.clients.items()
             },
         }
+        latencies = self.pump.latencies()
+        if latencies:
+            payload["latencies"] = latencies
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
         if self.faults is not None:
@@ -328,6 +435,33 @@ class WsqEngine:
                 name: client.retries for name, client in self.clients.items()
             }
         return payload
+
+    def metrics_snapshot(self):
+        """The full metrics-registry snapshot (counters/gauges/histograms)."""
+        return self.pump.metrics.snapshot()
+
+    def observability(self):
+        """The attached bundle, creating a disabled one on first use."""
+        if self.obs is None:
+            self.obs = Observability(metrics=self.pump.metrics, clock=self.clock)
+        return self.obs
+
+
+def _find_context(plan):
+    """The AsyncContext of the first ReqSync/AEVScan in *plan*, if any."""
+    context = getattr(plan, "context", None)
+    if context is not None:
+        return context
+    inner = getattr(plan, "inner", None)
+    if inner is not None:
+        context = _find_context(inner)
+        if context is not None:
+            return context
+    for child in plan.children:
+        context = _find_context(child)
+        if context is not None:
+            return context
+    return None
 
 
 def _sum_plan_attr(plan, attribute):
@@ -341,8 +475,6 @@ def _sum_plan_attr(plan, attribute):
 
 def _has_external_scan(plan):
     """Does the (synchronous) plan contain any external virtual-table scan?"""
-    from repro.vtables.evscan import EVScan as _EVScan
-
-    if isinstance(plan, _EVScan):
+    if isinstance(plan, EVScan):
         return True
     return any(_has_external_scan(child) for child in plan.children)
