@@ -57,17 +57,7 @@ class AsyncContext:
         if self.dedup and call.key is not None:
             existing = self._by_key.get(call.key)
             if existing is not None:
-                with self._cond:
-                    self._leases[existing] += 1
-                self.dedup_hits += 1
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        CALL_DEDUP,
-                        call_id=existing,
-                        query_id=self.query_id,
-                        destination=call.destination,
-                        key=str(call.key),
-                    )
+                self._reuse_inflight(existing, call)
                 return existing
         call_id = self.pump.register(call, self._on_complete, query_id=self.query_id)
         self.calls_registered += 1
@@ -78,6 +68,79 @@ class AsyncContext:
             self._by_key[call.key] = call_id
             self._key_of[call_id] = call.key
         return call_id
+
+    def register_batch(self, calls):
+        """Register many calls in one go; returns their call ids in order.
+
+        Deduplication applies exactly as in :meth:`register`, both
+        against already in-flight calls and *within* the batch (the
+        paper's Figure 7 workload sends many identical searches per
+        batch); only novel calls reach the pump, in one burst via
+        ``pump.register_batch`` when available.
+        """
+        calls = list(calls)
+        if not calls:
+            return []
+        call_ids = [None] * len(calls)
+        fresh = []  # (position, call) pairs that must reach the pump
+        dup_of = []  # (position, anchor position) intra-batch duplicates
+        batch_anchor = {}  # call.key -> position of first fresh call
+        for position, call in enumerate(calls):
+            key = call.key
+            if self.dedup and key is not None:
+                existing = self._by_key.get(key)
+                if existing is not None:
+                    self._reuse_inflight(existing, call)
+                    call_ids[position] = existing
+                    continue
+                anchor = batch_anchor.get(key)
+                if anchor is not None:
+                    dup_of.append((position, anchor))
+                    continue
+                batch_anchor[key] = position
+            fresh.append((position, call))
+        if fresh:
+            fresh_calls = [call for _, call in fresh]
+            pump_batch = getattr(self.pump, "register_batch", None)
+            if callable(pump_batch):
+                new_ids = pump_batch(
+                    fresh_calls, self._on_complete, query_id=self.query_id
+                )
+            else:
+                new_ids = [
+                    self.pump.register(c, self._on_complete, query_id=self.query_id)
+                    for c in fresh_calls
+                ]
+            self.calls_registered += len(new_ids)
+            with self._cond:
+                for (position, call), call_id in zip(fresh, new_ids):
+                    call_ids[position] = call_id
+                    self._leases[call_id] = 1
+                    self._dest_of[call_id] = call.destination
+            if self.dedup:
+                for (position, call), call_id in zip(fresh, new_ids):
+                    if call.key is not None:
+                        self._by_key[call.key] = call_id
+                        self._key_of[call_id] = call.key
+        for position, anchor in dup_of:
+            call_id = call_ids[anchor]
+            self._reuse_inflight(call_id, calls[position])
+            call_ids[position] = call_id
+        return call_ids
+
+    def _reuse_inflight(self, call_id, call):
+        """Account one dedup hit: a new lease on an in-flight call."""
+        with self._cond:
+            self._leases[call_id] += 1
+        self.dedup_hits += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                CALL_DEDUP,
+                call_id=call_id,
+                query_id=self.query_id,
+                destination=call.destination,
+                key=str(call.key),
+            )
 
     def _on_complete(self, call_id, rows, error):
         with self._cond:

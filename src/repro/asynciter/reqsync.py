@@ -45,6 +45,7 @@ expose how much degradation a query absorbed.
 from collections import deque
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.obs.trace import (
     BEGIN,
     END,
@@ -152,9 +153,11 @@ class ReqSync(Operator):
         self._next_tid = 0
         self._child_done = False
         if not self.stream:
-            # Full buffering: drain the child, which registers every
-            # external call below us with the pump in one burst.
-            while self._pull_child():
+            # Full buffering: drain the child *batch-wise*, which
+            # registers every external call below us with the pump in
+            # one burst (an AEVScan below a dependent join gets whole
+            # batches of bindings at a time).
+            while self._pull_child_batch(self.batch_size):
                 pass
 
     def next(self):
@@ -169,33 +172,61 @@ class ReqSync(Operator):
                 continue
             if not self._by_call:
                 return None
-            outstanding = set(self._by_call)
-            tracer = self.context.tracer
+            self._resolve_some()
+
+    def next_batch(self, max_rows=None):
+        if self._buffered is None:
+            raise ExecutionError("ReqSync.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        out = []
+        while len(out) < limit:
+            row = self._emit_ready()
+            if row is not None:
+                out.append(row)
+                continue
+            if self.stream and not self._child_done:
+                self._pull_child_batch(limit)
+                continue
+            if not self._by_call:
+                break
+            if out:
+                # Rows are ready to flow: emit them rather than blocking
+                # on the network to top the batch up.
+                break
+            self._resolve_some()
+        if not out:
+            return None
+        return RowBatch(self.schema, out)
+
+    def _resolve_some(self):
+        """Block until ≥1 outstanding call lands, then patch/cancel/copy."""
+        outstanding = set(self._by_call)
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.emit(
+                SYNC_WAIT,
+                kind=BEGIN,
+                query_id=self.context.query_id,
+                outstanding=len(outstanding),
+                buffered=len(self._buffered),
+            )
+        try:
+            done = self.context.wait_for_any(
+                outstanding, timeout=self.wait_timeout
+            )
+        finally:
             if tracer is not None:
                 tracer.emit(
-                    SYNC_WAIT,
-                    kind=BEGIN,
-                    query_id=self.context.query_id,
-                    outstanding=len(outstanding),
-                    buffered=len(self._buffered),
+                    SYNC_WAIT, kind=END, query_id=self.context.query_id
                 )
-            try:
-                done = self.context.wait_for_any(
-                    outstanding, timeout=self.wait_timeout
-                )
-            finally:
-                if tracer is not None:
-                    tracer.emit(
-                        SYNC_WAIT, kind=END, query_id=self.context.query_id
-                    )
-            for call_id in done:
-                if call_id in self._by_call:
-                    try:
-                        rows = self.context.take_result(call_id)
-                    except ExecutionError:
-                        self._degrade(call_id)
-                    else:
-                        self._apply_completion(call_id, rows)
+        for call_id in done:
+            if call_id in self._by_call:
+                try:
+                    rows = self.context.take_result(call_id)
+                except ExecutionError:
+                    self._degrade(call_id)
+                else:
+                    self._apply_completion(call_id, rows)
 
     def close(self):
         if self._by_call:
@@ -256,6 +287,17 @@ class ReqSync(Operator):
             self._child_done = True
             return False
         self._admit(row)
+        return True
+
+    def _pull_child_batch(self, limit):
+        """Admit up to *limit* child rows in one batch pull."""
+        batch = self.child.next_batch(limit)
+        if batch is None:
+            self._child_done = True
+            return False
+        admit = self._admit
+        for row in batch:
+            admit(row)
         return True
 
     def _admit(self, row):

@@ -57,6 +57,7 @@ class RewriteSettings:
         consolidate=True,
         wait_timeout=None,
         on_error=None,
+        batch_size=None,
     ):
         self.stream = stream
         self.pull_above_order_sensitive = pull_above_order_sensitive
@@ -65,6 +66,11 @@ class RewriteSettings:
         #: Graceful-degradation policy for failed calls: "raise" (default),
         #: "drop", or "null" — see :class:`~repro.asynciter.reqsync.ReqSync`.
         self.on_error = on_error
+        #: Batch granularity stamped onto every ReqSync this rewrite
+        #: creates (``None`` = the operator default).  This governs how
+        #: many child rows — and therefore how many external-call
+        #: registrations — one ReqSync admission pull covers.
+        self.batch_size = batch_size
 
 
 def apply_asynchronous_iteration(plan, context, settings=None):
@@ -174,7 +180,10 @@ def _make_reqsync(child, context, settings):
         kwargs["wait_timeout"] = settings.wait_timeout
     if settings.on_error is not None:
         kwargs["on_error"] = settings.on_error
-    return ReqSync(child, context, **kwargs)
+    reqsync = ReqSync(child, context, **kwargs)
+    if settings.batch_size is not None:
+        reqsync.batch_size = settings.batch_size
+    return reqsync
 
 
 # -- step 2: percolation ----------------------------------------------------------------------

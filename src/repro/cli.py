@@ -71,6 +71,7 @@ def build_engine(args):
         resilience=resilience,
         on_error=on_error,
         obs=obs,
+        batch_size=getattr(args, "batch_size", None),
     )
 
 
@@ -118,6 +119,13 @@ def main(argv=None):
     )
     parser.add_argument(
         "--sync", action="store_true", help="start in synchronous mode"
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="execution batch granularity (rows per operator pull; "
+        "1 = row-at-a-time; default 256 or $REPRO_BATCH_SIZE)",
     )
     parser.add_argument(
         "-c", "--command", help="run one statement and exit", default=None

@@ -6,9 +6,25 @@ flow through "oblivious" operators untouched; operators that *depend on*
 attribute values (filters, sorts, aggregates) evaluate expressions that
 raise :class:`~repro.util.errors.PlaceholderError` on unresolved
 placeholders, which turns any ReqSync-placement bug into a loud failure.
+
+Since the vectorization refactor every operator additionally speaks the
+batch protocol — ``next_batch(max_rows)`` returning
+:class:`~repro.relational.batch.RowBatch` chunks — over the same
+``open``/``close`` lifecycle; see :mod:`repro.exec.operator` for the
+dual-protocol contract and the exact-compatibility shims.
 """
 
-from repro.exec.operator import Operator, collect, execute
+from repro.exec.operator import (
+    BatchOperator,
+    Operator,
+    collect,
+    collect_batches,
+    execute,
+    execute_batches,
+    open_plan,
+    set_batch_size,
+)
+from repro.relational.batch import RowBatch
 from repro.exec.scans import RowsScan, TableScan
 from repro.exec.indexscan import IndexScan
 from repro.exec.filter import Filter
@@ -23,6 +39,7 @@ from repro.exec.union import UnionAll
 __all__ = [
     "Aggregate",
     "AggregateSpec",
+    "BatchOperator",
     "CrossProduct",
     "DependentJoin",
     "Distinct",
@@ -32,10 +49,15 @@ __all__ = [
     "NestedLoopJoin",
     "Operator",
     "Project",
+    "RowBatch",
     "RowsScan",
     "Sort",
     "TableScan",
     "UnionAll",
     "collect",
+    "collect_batches",
     "execute",
+    "execute_batches",
+    "open_plan",
+    "set_batch_size",
 ]

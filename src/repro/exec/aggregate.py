@@ -6,6 +6,7 @@ proliferate tuples.  Its input expressions raise on placeholders.
 """
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.relational.placeholder import require_concrete
 from repro.relational.types import DataType
 from repro.util.errors import ExecutionError, TypeMismatchError
@@ -104,22 +105,24 @@ class Aggregate(Operator):
         groups = {}
         order = []
         while True:
-            row = self.child.next()
-            if row is None:
+            batch = self.child.next_batch(self.batch_size)
+            if batch is None:
                 break
-            key = tuple(
-                require_concrete(expr.eval(row), "GROUP BY") for expr in self.group_exprs
-            )
-            accumulators = groups.get(key)
-            if accumulators is None:
-                accumulators = [_Accumulator(s.func) for s in self.specs]
-                groups[key] = accumulators
-                order.append(key)
-            for spec, acc in zip(self.specs, accumulators):
-                if spec.star:
-                    acc.add(_STAR)
-                else:
-                    acc.add(require_concrete(spec.expr.eval(row), spec.sql()))
+            for row in batch:
+                key = tuple(
+                    require_concrete(expr.eval(row), "GROUP BY")
+                    for expr in self.group_exprs
+                )
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [_Accumulator(s.func) for s in self.specs]
+                    groups[key] = accumulators
+                    order.append(key)
+                for spec, acc in zip(self.specs, accumulators):
+                    if spec.star:
+                        acc.add(_STAR)
+                    else:
+                        acc.add(require_concrete(spec.expr.eval(row), spec.sql()))
         self.child.close()
         if not self.group_exprs and not groups:
             groups[()] = [_Accumulator(s.func) for s in self.specs]
@@ -137,6 +140,17 @@ class Aggregate(Operator):
         row = self._results[self._position]
         self._position += 1
         return row
+
+    def next_batch(self, max_rows=None):
+        if self._results is None:
+            raise ExecutionError("Aggregate.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        start = self._position
+        if start >= len(self._results):
+            return None
+        rows = self._results[start : start + limit]
+        self._position = start + len(rows)
+        return RowBatch(self.schema, rows)
 
     def close(self):
         self._results = None

@@ -33,6 +33,26 @@ class Distinct(Operator):
                 self._seen.add(key)
                 return row
 
+    def next_batch(self, max_rows=None):
+        limit = max_rows if max_rows is not None else self.batch_size
+        seen = self._seen
+        while True:
+            batch = self.child.next_batch(limit)
+            if batch is None:
+                return None
+            selection = []
+            keep = selection.append
+            for i, row in enumerate(batch.to_rows()):
+                key = tuple(require_concrete(v, "DISTINCT") for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    keep(i)
+            if not selection:
+                continue  # whole batch duplicated; keep pulling
+            if len(selection) == len(batch):
+                return batch
+            return batch.select(selection)
+
     def close(self):
         self.child.close()
         self._seen = None

@@ -1,6 +1,7 @@
 """Selection."""
 
 from repro.exec.operator import Operator
+from repro.relational.expr import compile_batch_predicate
 
 
 class Filter(Operator):
@@ -11,6 +12,10 @@ class Filter(Operator):
     over a placeholder raises — by the paper's clash rule 1, ReqSync
     percolation must pull this operator above the ReqSync (or vice versa)
     whenever the predicate touches placeholder-carrying columns.
+
+    Batch path: the predicate is compiled once per ``open()`` into a
+    vectorized evaluator, and surviving rows are expressed as a
+    *selection vector* over the child batch — no row copying.
     """
 
     def __init__(self, child, predicate):
@@ -18,11 +23,13 @@ class Filter(Operator):
         self.predicate = predicate
         self.schema = child.schema
         self.children = (child,)
+        self._batch_predicate = None
 
     def open(self, bindings=None):
         # Pass-through: a Filter may sit between a dependent join and the
         # scan it parameterizes (e.g. after percolation rewrites).
         self.child.open(bindings)
+        self._batch_predicate = compile_batch_predicate(self.predicate)
 
     def next(self):
         while True:
@@ -32,8 +39,26 @@ class Filter(Operator):
             if self.predicate.eval(row) is True:
                 return row
 
+    def next_batch(self, max_rows=None):
+        limit = max_rows if max_rows is not None else self.batch_size
+        predicate = self._batch_predicate
+        if predicate is None:
+            predicate = compile_batch_predicate(self.predicate)
+            self._batch_predicate = predicate
+        while True:
+            batch = self.child.next_batch(limit)
+            if batch is None:
+                return None
+            selection = predicate(batch.to_rows())
+            if not selection:
+                continue  # whole batch filtered out; keep pulling
+            if len(selection) == len(batch):
+                return batch  # nothing dropped: pass the batch through
+            return batch.select(selection)
+
     def close(self):
         self.child.close()
+        self._batch_predicate = None
 
     def label(self):
         return "Select: {}".format(self.predicate.sql(self.schema))

@@ -1,6 +1,7 @@
 """Index scan: B+tree range access followed by heap fetches."""
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
@@ -47,6 +48,23 @@ class IndexScan(Operator):
             if row is not None:
                 return row
         return None
+
+    def next_batch(self, max_rows=None):
+        if self._iterator is None:
+            raise ExecutionError("IndexScan.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        read = self.table.read
+        rows = []
+        append = rows.append
+        for _, rid in self._iterator:
+            row = read(rid)
+            if row is not None:
+                append(row)
+                if len(rows) >= limit:
+                    break
+        if not rows:
+            return None
+        return RowBatch(self.schema, rows)
 
     def close(self):
         self._iterator = None

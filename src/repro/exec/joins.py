@@ -6,6 +6,8 @@ current outer tuple (it feeds the virtual tables' input columns).
 """
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
+from repro.relational.expr import compile_batch_predicate
 from repro.util.errors import ExecutionError
 
 
@@ -42,6 +44,28 @@ class CrossProduct(Operator):
                 continue
             return self._outer_row + inner
 
+    def next_batch(self, max_rows=None):
+        if not self._opened:
+            raise ExecutionError("CrossProduct.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        out = []
+        while len(out) < limit:
+            if self._outer_row is None:
+                self._outer_row = self.left.next()
+                if self._outer_row is None:
+                    break
+                self.right.open()
+            batch = self.right.next_batch(limit - len(out))
+            if batch is None:
+                self.right.close()
+                self._outer_row = None
+                continue
+            outer = self._outer_row
+            out.extend(outer + inner for inner in batch)
+        if not out:
+            return None
+        return RowBatch(self.schema, out)
+
     def close(self):
         if self._opened:
             self.left.close()
@@ -64,12 +88,15 @@ class NestedLoopJoin(Operator):
         self.schema = left.schema.concat(right.schema)
         self.children = (left, right)
         self._product = None
+        self._batch_predicate = None
 
     def open(self, bindings=None):
         self._reject_bindings(bindings)
         # Built per open() so plan rewrites that swap children stay honest.
         self._product = CrossProduct(self.left, self.right)
+        self._product.batch_size = self.batch_size
         self._product.open()
+        self._batch_predicate = compile_batch_predicate(self.predicate)
 
     def next(self):
         while True:
@@ -79,10 +106,28 @@ class NestedLoopJoin(Operator):
             if self.predicate.eval(row) is True:
                 return row
 
+    def next_batch(self, max_rows=None):
+        limit = max_rows if max_rows is not None else self.batch_size
+        predicate = self._batch_predicate
+        if predicate is None:
+            predicate = compile_batch_predicate(self.predicate)
+            self._batch_predicate = predicate
+        while True:
+            batch = self._product.next_batch(limit)
+            if batch is None:
+                return None
+            selection = predicate(batch.to_rows())
+            if not selection:
+                continue  # no survivors in this chunk; keep pulling
+            if len(selection) == len(batch):
+                return batch
+            return batch.select(selection)
+
     def close(self):
         if self._product is not None:
             self._product.close()
             self._product = None
+        self._batch_predicate = None
 
     def label(self):
         return "Join: {}".format(self.predicate.sql(self.schema))
@@ -99,6 +144,14 @@ class DependentJoin(Operator):
     The operator is oblivious to asynchronous iteration, exactly as in the
     paper: it combines whatever (possibly placeholder-carrying) tuples the
     inner scan returns.
+
+    Batch path: when the inner side supports batched parameterization
+    (``open_batch(bindings_list)``, i.e. an :class:`AEVScan`, which emits
+    exactly one tuple per binding), a whole outer batch is bound in one
+    call — this is what registers a *batch* of external calls with the
+    request pump in one go.  Otherwise the inner side may yield 0..n rows
+    per outer tuple and we fall back to a per-outer-row nested loop that
+    still pulls the inner side batch-at-a-time.
     """
 
     def __init__(self, left, right, binding_columns):
@@ -135,6 +188,70 @@ class DependentJoin(Operator):
                 self._outer_row = None
                 continue
             return self._outer_row + inner
+
+    def next_batch(self, max_rows=None):
+        if not self._opened:
+            raise ExecutionError("DependentJoin.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        open_batch = getattr(self.right, "open_batch", None)
+        if callable(open_batch) and self._outer_row is None:
+            return self._next_batch_bound(open_batch, limit)
+        return self._next_batch_looped(limit)
+
+    def _next_batch_bound(self, open_batch, limit):
+        """Fast path: bind one whole outer batch into the inner scan.
+
+        The inner scan contract here is *exactly one row per binding* (an
+        ``AEVScan`` emits a placeholder or resolved tuple per outer row),
+        so output order is identical to the row-at-a-time schedule.
+        """
+        left_batch = self.left.next_batch(limit)
+        if left_batch is None:
+            return None
+        outer_rows = left_batch.to_rows()
+        items = tuple(self.binding_columns.items())
+        bindings_list = [
+            {param: row[index] for param, index in items} for row in outer_rows
+        ]
+        open_batch(bindings_list)
+        try:
+            inner_batch = self.right.next_batch(len(bindings_list))
+            inner_rows = [] if inner_batch is None else inner_batch.to_rows()
+            if len(inner_rows) != len(outer_rows):
+                raise ExecutionError(
+                    "dependent-join batch binding expected {} inner rows, "
+                    "got {}".format(len(outer_rows), len(inner_rows))
+                )
+        finally:
+            self.right.close()
+        return RowBatch(
+            self.schema,
+            [outer + inner for outer, inner in zip(outer_rows, inner_rows)],
+        )
+
+    def _next_batch_looped(self, limit):
+        """Fallback: per-outer-row rebinding, inner pulled batch-wise."""
+        out = []
+        while len(out) < limit:
+            if self._outer_row is None:
+                self._outer_row = self.left.next()
+                if self._outer_row is None:
+                    break
+                inner_bindings = {
+                    param: self._outer_row[index]
+                    for param, index in self.binding_columns.items()
+                }
+                self.right.open(inner_bindings)
+            batch = self.right.next_batch(limit - len(out))
+            if batch is None:
+                self.right.close()
+                self._outer_row = None
+                continue
+            outer = self._outer_row
+            out.extend(outer + inner for inner in batch)
+        if not out:
+            return None
+        return RowBatch(self.schema, out)
 
     def close(self):
         if self._opened:

@@ -1,14 +1,52 @@
-"""Base operator contract and execution helpers."""
+"""Base operator contract and execution helpers.
 
+Dual-protocol Volcano model
+---------------------------
+
+Every operator supports two pull protocols over one ``open()``/``close()``
+lifecycle:
+
+- **row-at-a-time** (the seed contract): ``next()`` returns one row tuple
+  or ``None`` at end of stream;
+- **batch-at-a-time** (the primary path): ``next_batch(max_rows)``
+  returns a :class:`~repro.relational.batch.RowBatch` of 1..max_rows rows
+  or ``None`` at end of stream.  It never returns an empty batch.
+
+The base class provides an exact-compatibility shim in each direction, so
+an operator only has to implement one protocol natively:
+
+- ``Operator.next_batch()`` (the default) adapts a legacy ``next()``
+  implementation by looping it up to ``max_rows`` times — third-party
+  and test operators keep working unchanged;
+- :class:`BatchOperator` provides a ``next()`` that drains an internal
+  buffer refilled from ``next_batch()``, for operators whose native
+  protocol is the batch one.
+
+The two protocols must not be interleaved within a single execution of
+one plan (``open .. close``); switching requires a re-open.  With
+``max_rows=1`` the batch path degenerates to exactly the row-at-a-time
+schedule: one child pull, one row, identical side-effect order.
+
+``batch_size`` is a per-operator attribute (class default
+:func:`~repro.relational.batch.default_batch_size`, i.e. 256 or the
+``REPRO_BATCH_SIZE`` environment override); engines stamp their
+configured size over a whole plan with :func:`set_batch_size`.
+"""
+
+from contextlib import contextmanager
+
+from repro.relational.batch import RowBatch, default_batch_size
 from repro.util.errors import ExecutionError
 
 
 class Operator:
     """Base class for all physical query-plan operators.
 
-    Lifecycle: ``open() -> next()* -> close()``; operators are re-openable
-    after ``close()`` (nested-loop joins rely on this).  ``next()`` returns
-    a row tuple or ``None`` at end of stream.
+    Lifecycle: ``open() -> (next()* | next_batch()*) -> close()``;
+    operators are re-openable after ``close()`` (nested-loop joins rely
+    on this).  ``next()`` returns a row tuple or ``None`` at end of
+    stream; ``next_batch()`` returns a non-empty
+    :class:`~repro.relational.batch.RowBatch` or ``None``.
 
     ``open(bindings)``: only operators that sit on the inner side of a
     dependent join accept a bindings dict (external virtual-table scans,
@@ -20,6 +58,11 @@ class Operator:
     schema = None
     children = ()
 
+    #: Default batch granularity for ``next_batch(max_rows=None)`` and
+    #: for internal child pulls; engines override per plan via
+    #: :func:`set_batch_size`.
+    batch_size = default_batch_size()
+
     def open(self, bindings=None):
         raise NotImplementedError
 
@@ -28,6 +71,25 @@ class Operator:
 
     def close(self):
         raise NotImplementedError
+
+    def next_batch(self, max_rows=None):
+        """Return a batch of up to *max_rows* rows, or ``None`` at EOS.
+
+        Default adapter over a row-native ``next()`` — exact row order
+        and side-effect schedule, just grouped.
+        """
+        limit = max_rows if max_rows is not None else self.batch_size
+        next_row = self.next
+        rows = []
+        append = rows.append
+        for _ in range(limit):
+            row = next_row()
+            if row is None:
+                break
+            append(row)
+        if not rows:
+            return None
+        return RowBatch(self.schema, rows)
 
     # -- conveniences ---------------------------------------------------------
 
@@ -49,19 +111,124 @@ class Operator:
             )
 
 
-def execute(plan, bindings=None):
-    """Open *plan*, yield every row, and close it (even on error)."""
-    plan.open(bindings)
+class BatchOperator(Operator):
+    """Base for operators whose *native* protocol is ``next_batch()``.
+
+    Provides the row-compatibility shim: ``next()`` drains an internal
+    buffer refilled one batch at a time (batches of ``batch_size`` rows,
+    so a row-driven consumer still amortizes the per-batch work).
+    Subclasses must call :meth:`_reset_drain` from ``open()`` and
+    ``close()``.
+    """
+
+    def __init__(self):
+        self._drain_rows = None
+        self._drain_pos = 0
+
+    def _reset_drain(self):
+        self._drain_rows = None
+        self._drain_pos = 0
+
+    def next(self):
+        rows = self._drain_rows
+        if rows is not None and self._drain_pos < len(rows):
+            row = rows[self._drain_pos]
+            self._drain_pos += 1
+            return row
+        batch = self.next_batch(self.batch_size)
+        if batch is None:
+            self._reset_drain()
+            return None
+        rows = batch.to_rows()
+        self._drain_rows = rows
+        self._drain_pos = 1
+        return rows[0]
+
+
+def set_batch_size(plan, batch_size):
+    """Stamp *batch_size* over every operator in *plan* (returns *plan*).
+
+    Walks ``children`` plus any ``inner`` wrapper attribute (profiled
+    plans), so the whole tree pulls with one granularity.
+    """
+    if batch_size is None:
+        return plan
+    if batch_size < 1:
+        raise ExecutionError("batch_size must be >= 1, got {!r}".format(batch_size))
+    plan.batch_size = batch_size
+    inner = getattr(plan, "inner", None)
+    if inner is not None:
+        set_batch_size(inner, batch_size)
+    for child in plan.children:
+        set_batch_size(child, batch_size)
+    return plan
+
+
+@contextmanager
+def open_plan(plan, bindings=None):
+    """Context manager driving the ``open``/``close`` lifecycle of *plan*.
+
+    This is how engines must run plans: an abandoned ``execute()``
+    generator only closes its plan at GC time, which can leak pump
+    registrations from an ``AEVScan`` when the consumer ``break``s early.
+    ``close()`` is exception-safe even when ``open()`` itself failed
+    after partially opening children (the partial state is torn down
+    best-effort before the original error propagates).
+    """
     try:
+        plan.open(bindings)
+    except BaseException:
+        # open() may have opened some children (and registered external
+        # calls) before failing; close what we can, keep the real error.
+        try:
+            plan.close()
+        except Exception:  # noqa: BLE001 - teardown must not mask open()'s error
+            pass
+        raise
+    try:
+        yield plan
+    finally:
+        plan.close()
+
+
+def execute(plan, bindings=None):
+    """Open *plan*, yield every row, and close it (even on error).
+
+    Prefer :func:`open_plan` (or fully consuming this generator): if the
+    consumer abandons the generator mid-stream, ``close()`` only runs
+    when the generator is finalized.
+    """
+    with open_plan(plan, bindings):
         while True:
             row = plan.next()
             if row is None:
                 return
             yield row
-    finally:
-        plan.close()
+
+
+def execute_batches(plan, batch_size=None, bindings=None):
+    """Open *plan*, yield :class:`RowBatch` chunks, and close it.
+
+    The plan is driven through the batch protocol with *batch_size*
+    (``None`` = the plan's own ``batch_size``).  Same abandonment caveat
+    as :func:`execute` — engines wrap consumption in :func:`open_plan`.
+    """
+    with open_plan(plan, bindings):
+        while True:
+            batch = plan.next_batch(batch_size)
+            if batch is None:
+                return
+            yield batch
 
 
 def collect(plan):
     """Run *plan* to completion and return all rows as a list."""
     return list(execute(plan))
+
+
+def collect_batches(plan, batch_size=None):
+    """Run *plan* through the batch protocol; returns all rows as a list."""
+    rows = []
+    for batch in execute_batches(plan, batch_size):
+        rows.extend(batch)
+    return rows

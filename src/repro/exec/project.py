@@ -1,7 +1,8 @@
 """Projection (with computed expressions)."""
 
 from repro.exec.operator import Operator
-from repro.relational.expr import ColumnRef
+from repro.relational.batch import RowBatch
+from repro.relational.expr import ColumnRef, compile_batch_projection
 
 
 class Project(Operator):
@@ -12,6 +13,9 @@ class Project(Operator):
     (arithmetic etc.) genuinely depend on their inputs and therefore raise
     on placeholders; clash rule 2 (projection must not drop placeholder
     attributes) is enforced by the plan rewriter, not here.
+
+    Batch path: the output expressions are compiled once per ``open()``
+    into a vectorized projector producing whole output batches.
     """
 
     def __init__(self, child, expressions, schema):
@@ -20,9 +24,11 @@ class Project(Operator):
         self.expressions = list(expressions)
         self.schema = schema
         self.children = (child,)
+        self._batch_project = None
 
     def open(self, bindings=None):
         self.child.open(bindings)
+        self._batch_project = compile_batch_projection(self.expressions)
 
     def next(self):
         row = self.child.next()
@@ -33,8 +39,20 @@ class Project(Operator):
             for expr in self.expressions
         )
 
+    def next_batch(self, max_rows=None):
+        limit = max_rows if max_rows is not None else self.batch_size
+        project = self._batch_project
+        if project is None:
+            project = compile_batch_projection(self.expressions)
+            self._batch_project = project
+        batch = self.child.next_batch(limit)
+        if batch is None:
+            return None
+        return RowBatch(self.schema, project(batch.to_rows()))
+
     def close(self):
         self.child.close()
+        self._batch_project = None
 
     def label(self):
         rendered = ", ".join(

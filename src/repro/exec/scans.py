@@ -1,11 +1,16 @@
 """Leaf scans: stored tables and in-memory row collections."""
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
 class TableScan(Operator):
-    """Sequential scan of a stored table through the buffer pool."""
+    """Sequential scan of a stored table through the buffer pool.
+
+    Batch path: rows are pulled page-at-a-time from the heap via
+    ``Table.scan_batches()`` and re-chunked to the caller's ``max_rows``.
+    """
 
     def __init__(self, table, qualifier=None):
         self.table = table
@@ -13,18 +18,48 @@ class TableScan(Operator):
         self.schema = table.schema.with_qualifier(self.qualifier)
         self.children = ()
         self._iterator = None
+        self._batch_iterator = None
+        self._pending = []
 
     def open(self, bindings=None):
         self._reject_bindings(bindings)
         self._iterator = self.table.scan()
+        self._batch_iterator = None
+        self._pending = []
 
     def next(self):
         if self._iterator is None:
             raise ExecutionError("TableScan.next() before open()")
         return next(self._iterator, None)
 
+    def next_batch(self, max_rows=None):
+        if self._iterator is None:
+            raise ExecutionError("TableScan.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        if self._batch_iterator is None:
+            scan_batches = getattr(self.table, "scan_batches", None)
+            if scan_batches is None:
+                return Operator.next_batch(self, limit)
+            self._batch_iterator = scan_batches()
+        rows = self._pending
+        while len(rows) < limit:
+            chunk = next(self._batch_iterator, None)
+            if chunk is None:
+                break
+            rows.extend(chunk)
+        if not rows:
+            return None
+        if len(rows) > limit:
+            self._pending = rows[limit:]
+            rows = rows[:limit]
+        else:
+            self._pending = []
+        return RowBatch(self.schema, rows)
+
     def close(self):
         self._iterator = None
+        self._batch_iterator = None
+        self._pending = []
 
     def label(self):
         return "Scan: {}".format(self.qualifier)
@@ -52,6 +87,17 @@ class RowsScan(Operator):
         row = self.rows_data[self._position]
         self._position += 1
         return row
+
+    def next_batch(self, max_rows=None):
+        if self._position is None:
+            raise ExecutionError("RowsScan.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        start = self._position
+        if start >= len(self.rows_data):
+            return None
+        rows = self.rows_data[start : start + limit]
+        self._position = start + len(rows)
+        return RowBatch(self.schema, rows)
 
     def close(self):
         self._position = None

@@ -3,6 +3,7 @@
 import functools
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
@@ -43,10 +44,10 @@ class Sort(Operator):
         self.child.open()
         rows = []
         while True:
-            row = self.child.next()
-            if row is None:
+            batch = self.child.next_batch(self.batch_size)
+            if batch is None:
                 break
-            rows.append(row)
+            rows.extend(batch)
         self.child.close()
         decorated = [
             (tuple(expr.eval(row) for expr, _ in self.keys), row) for row in rows
@@ -76,6 +77,17 @@ class Sort(Operator):
         row = self._buffer[self._position]
         self._position += 1
         return row
+
+    def next_batch(self, max_rows=None):
+        if self._buffer is None:
+            raise ExecutionError("Sort.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        start = self._position
+        if start >= len(self._buffer):
+            return None
+        rows = self._buffer[start : start + limit]
+        self._position = start + len(rows)
+        return RowBatch(self.schema, rows)
 
     def close(self):
         self._buffer = None

@@ -6,6 +6,7 @@ Distinct`` above it, letting ReqSync rise through the union.
 """
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
@@ -43,6 +44,27 @@ class UnionAll(Operator):
             self.right.close()
             self._stage = 2
         return row
+
+    def next_batch(self, max_rows=None):
+        if self._stage is None:
+            raise ExecutionError("UnionAll.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        if self._stage == 2:
+            return None
+        if self._stage == 0:
+            batch = self.left.next_batch(limit)
+            if batch is not None:
+                return batch
+            self.left.close()
+            self.right.open()
+            self._stage = 1
+        batch = self.right.next_batch(limit)
+        if batch is None:
+            self.right.close()
+            self._stage = 2
+            return None
+        # Re-tag with the union's (left-derived) schema.
+        return RowBatch(self.schema, batch.to_rows())
 
     def close(self):
         if self._stage == 0:

@@ -63,6 +63,7 @@ SYNC_DEGRADE = "reqsync.degrade"
 QUERY_SPAN = "query"
 OP_OPEN = "op.open"
 OP_NEXT = "op.next"
+OP_NEXT_BATCH = "op.next_batch"
 OP_CLOSE = "op.close"
 WEB_CACHE_HIT = "web.cache_hit"
 

@@ -186,6 +186,10 @@ class CostModel:
     local work to seconds.
     """
 
+    #: Fraction of ``cpu_per_row`` attributed to per-pull iterator
+    #: dispatch (the part batch execution amortizes over a whole batch).
+    DISPATCH_SHARE = 0.5
+
     def __init__(
         self,
         latency_mean,
@@ -194,6 +198,7 @@ class CostModel:
         cpu_per_row=2e-6,
         cpu_per_patch=4e-6,
         call_overhead=2e-4,
+        batch_size=None,
     ):
         self.latency_mean = latency_mean
         self.per_destination_limits = dict(per_destination_limits or {})
@@ -201,6 +206,25 @@ class CostModel:
         self.cpu_per_row = cpu_per_row
         self.cpu_per_patch = cpu_per_patch
         self.call_overhead = call_overhead
+        #: Batch granularity the priced plans run at (``None`` or ``<= 1``
+        #: = row-at-a-time, no discount — keeps historical estimates
+        #: bit-identical).
+        self.batch_size = batch_size
+
+    def batch_discount(self):
+        """Multiplier on per-row CPU under batch-at-a-time execution.
+
+        A batch of *B* rows pays one ``next_batch`` dispatch instead of
+        *B* ``next()`` dispatches, so the dispatch share of the per-row
+        cost shrinks by 1/B: ``discount = (1 - s) + s / B`` with
+        ``s = DISPATCH_SHARE``.  ``B <= 1`` (or unset) yields exactly
+        1.0 — the degenerate schedule prices like the seed model.
+        """
+        size = self.batch_size
+        if size is None or size <= 1:
+            return 1.0
+        share = self.DISPATCH_SHARE
+        return (1.0 - share) + share / float(size)
 
     # -- public API -------------------------------------------------------------
 
@@ -214,7 +238,7 @@ class CostModel:
         network = estimate.waves * self.latency_mean
         network += (estimate.total_calls() + estimate.issued) * self.call_overhead
         local = (
-            estimate.local_rows * self.cpu_per_row
+            estimate.local_rows * self.cpu_per_row * self.batch_discount()
             + estimate.patched_values * self.cpu_per_patch
         )
         return network + local

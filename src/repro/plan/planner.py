@@ -46,7 +46,12 @@ class PlannerOptions:
     """Planner knobs."""
 
     def __init__(
-        self, reorder=False, use_indexes=True, cost_reorder=False, on_error="raise"
+        self,
+        reorder=False,
+        use_indexes=True,
+        cost_reorder=False,
+        on_error="raise",
+        batch_size=None,
     ):
         #: Reorder FROM items so virtual tables follow their providers
         #: (otherwise the FROM order must already be feasible).
@@ -63,6 +68,11 @@ class PlannerOptions:
         #: synchronous plans ("raise" | "drop" | "null") — must match the
         #: ReqSync policy for sync/async result equivalence under faults.
         self.on_error = on_error
+        #: Batch granularity stamped over every operator of a produced
+        #: plan (``None`` = leave the per-operator default, i.e. 256 or
+        #: the ``REPRO_BATCH_SIZE`` environment override).  ``1``
+        #: degenerates batching to the exact row-at-a-time schedule.
+        self.batch_size = batch_size
 
 
 class _Relation:
@@ -98,7 +108,12 @@ class Planner:
         usages, residual = self._analyze(query, relations)
         relations = self._order_relations(query, relations)
         plan, residual = self._build_join_tree(query, relations, residual)
-        return self._finish(query, plan, residual)
+        plan = self._finish(query, plan, residual)
+        if self.options.batch_size is not None:
+            from repro.exec.operator import set_batch_size
+
+            set_batch_size(plan, self.options.batch_size)
+        return plan
 
     # -- FROM resolution ------------------------------------------------------------
 

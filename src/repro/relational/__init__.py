@@ -8,6 +8,11 @@ emits the bound expressions defined here.
 
 from repro.relational.types import DataType, coerce_value, infer_literal_type
 from repro.relational.schema import Column, Schema
+from repro.relational.batch import (
+    DEFAULT_BATCH_SIZE,
+    RowBatch,
+    default_batch_size,
+)
 from repro.relational.expr import (
     BinaryOp,
     BoundExpr,
@@ -17,6 +22,9 @@ from repro.relational.expr import (
     Disjunction,
     Literal,
     Negation,
+    compile_batch_eval,
+    compile_batch_predicate,
+    compile_batch_projection,
 )
 from repro.relational.placeholder import (
     Placeholder,
@@ -25,7 +33,9 @@ from repro.relational.placeholder import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "Placeholder",
+    "RowBatch",
     "is_placeholder",
     "row_pending_calls",
     "BinaryOp",
@@ -40,5 +50,9 @@ __all__ = [
     "Negation",
     "Schema",
     "coerce_value",
+    "compile_batch_eval",
+    "compile_batch_predicate",
+    "compile_batch_projection",
+    "default_batch_size",
     "infer_literal_type",
 ]

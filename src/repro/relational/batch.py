@@ -1,0 +1,136 @@
+"""RowBatch: the unit of vectorized (batch-at-a-time) execution.
+
+The Volcano iterator contract (``open/next/close``) pays one Python
+virtual-call round trip through the whole operator stack *per tuple*.
+Batch-at-a-time execution amortizes that: every ``next_batch()`` call
+moves up to ``batch_size`` tuples through one operator hop, and the
+WSQ-specific payoff is that an :class:`~repro.asynciter.aevscan.AEVScan`
+can register a whole batch of external calls with the request pump in a
+single operator round trip.
+
+A :class:`RowBatch` is
+
+- **schema-carrying**: ``batch.schema`` is the producing operator's
+  output :class:`~repro.relational.schema.Schema`;
+- **column-accessible**: ``batch.column(i)`` materializes one attribute
+  across the (selected) rows, which is what the vectorized expression
+  evaluators in :mod:`repro.relational.expr` consume;
+- **selection-aware**: a *selection vector* (a list of indexes into
+  ``rows``) lets a filter "delete" rows without copying the batch —
+  iteration, ``len()``, and ``column()`` all respect it.
+
+Rows remain plain Python tuples (the same objects the row-at-a-time
+path produces), so placeholders, patching, and every existing helper
+work unchanged on batch contents.
+"""
+
+import os
+
+#: Hard default when neither the engine nor the environment says otherwise.
+DEFAULT_BATCH_SIZE = 256
+
+#: Environment override consumed at import time (CI runs the tier-1
+#: suite under ``REPRO_BATCH_SIZE=1`` to pin degenerate batching to the
+#: row-at-a-time semantics).
+BATCH_SIZE_ENV = "REPRO_BATCH_SIZE"
+
+
+def default_batch_size():
+    """The process-wide default batch size (env-overridable, >= 1)."""
+    raw = os.environ.get(BATCH_SIZE_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                "{}={!r} is not an integer".format(BATCH_SIZE_ENV, raw)
+            ) from None
+        if value < 1:
+            raise ValueError(
+                "{}={!r} must be >= 1".format(BATCH_SIZE_ENV, raw)
+            )
+        return value
+    return DEFAULT_BATCH_SIZE
+
+
+class RowBatch:
+    """A fixed-capacity slice of tuples with an optional selection vector.
+
+    ``rows`` is a list of row tuples; ``selection`` (when not ``None``)
+    lists the indexes of the rows that are logically present, in order.
+    Operators that drop rows cheaply (Filter, join predicates) attach a
+    selection instead of rebuilding the row list; operators that need a
+    dense list call :meth:`to_rows` or :meth:`compact`.
+    """
+
+    __slots__ = ("schema", "rows", "selection")
+
+    def __init__(self, schema, rows, selection=None):
+        self.schema = schema
+        self.rows = rows
+        self.selection = selection
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema, rows):
+        """A dense batch over *rows* (materialized as a list)."""
+        return cls(schema, list(rows))
+
+    def select(self, indexes):
+        """A new batch sharing ``rows`` but keeping only *indexes*.
+
+        *indexes* are positions in this batch's logical order (i.e. they
+        compose with any existing selection).
+        """
+        if self.selection is None:
+            return RowBatch(self.schema, self.rows, list(indexes))
+        base = self.selection
+        return RowBatch(self.schema, self.rows, [base[i] for i in indexes])
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self):
+        if self.selection is not None:
+            return len(self.selection)
+        return len(self.rows)
+
+    def __bool__(self):
+        return len(self) > 0
+
+    def __iter__(self):
+        if self.selection is None:
+            return iter(self.rows)
+        rows = self.rows
+        return iter([rows[i] for i in self.selection])
+
+    def to_rows(self):
+        """The selected rows as a dense list (copies only if selected)."""
+        if self.selection is None:
+            return self.rows
+        rows = self.rows
+        return [rows[i] for i in self.selection]
+
+    def compact(self):
+        """This batch with any selection applied (dense rows, no vector)."""
+        if self.selection is None:
+            return self
+        return RowBatch(self.schema, self.to_rows())
+
+    def column(self, index):
+        """All values of attribute *index* across the selected rows."""
+        if self.selection is None:
+            return [row[index] for row in self.rows]
+        rows = self.rows
+        return [rows[i][index] for i in self.selection]
+
+    def columns(self):
+        """Every attribute as a list of column vectors."""
+        return [self.column(i) for i in range(len(self.schema))]
+
+    def __repr__(self):
+        return "RowBatch({} rows, {} cols{})".format(
+            len(self),
+            len(self.schema) if self.schema is not None else "?",
+            ", selected" if self.selection is not None else "",
+        )

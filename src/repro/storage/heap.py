@@ -81,6 +81,21 @@ class HeapFile:
             for slot, record in rows:
                 yield RID(page_id, slot), record
 
+    def scan_batches(self):
+        """Yield one ``[(rid, record_bytes), ...]`` list per non-empty page.
+
+        The batched counterpart of :meth:`scan`: each page is pinned once
+        and its live records are emitted together, so batch consumers do
+        one buffer-pool round trip per page instead of re-entering the
+        generator per record.  Storage order matches :meth:`scan` exactly.
+        """
+        for page_id in range(self.pool.disk.page_count):
+            with self.pool.pin(page_id) as guard:
+                page = SlottedPage(guard.data)
+                rows = list(page.records())
+            if rows:
+                yield [(RID(page_id, slot), record) for slot, record in rows]
+
     def record_count(self):
         count = 0
         for page_id in range(self.pool.disk.page_count):

@@ -48,6 +48,16 @@ class Table:
         for _, record in self.heap.scan():
             yield decode_record(record, self.schema)
 
+    def scan_batches(self):
+        """Yield lists of decoded rows, one list per non-empty heap page.
+
+        Storage order is identical to :meth:`scan`; only the grouping
+        differs.  This feeds ``TableScan.next_batch()``.
+        """
+        schema = self.schema
+        for chunk in self.heap.scan_batches():
+            yield [decode_record(record, schema) for _, record in chunk]
+
     def scan_with_rids(self):
         for rid, record in self.heap.scan():
             yield rid, decode_record(record, self.schema)

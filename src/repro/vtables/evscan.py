@@ -13,6 +13,7 @@ result, and ``"null"`` yields one row whose external attributes are NULL.
 """
 
 from repro.exec.operator import Operator
+from repro.relational.batch import RowBatch
 from repro.obs.trace import (
     CALL_COMPLETE,
     CALL_FAIL,
@@ -159,6 +160,17 @@ class EVScan(Operator):
         row = self._rows[self._position]
         self._position += 1
         return row
+
+    def next_batch(self, max_rows=None):
+        if self._rows is None:
+            raise ExecutionError("EVScan.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        start = self._position
+        if start >= len(self._rows):
+            return None
+        rows = self._rows[start : start + limit]
+        self._position = start + len(rows)
+        return RowBatch(self.schema, rows)
 
     def close(self):
         self._rows = None

@@ -3,10 +3,11 @@
 from repro.asynciter.context import AsyncContext
 from repro.asynciter.pump import RequestPump, default_pump
 from repro.asynciter.rewrite import RewriteSettings, apply_asynchronous_iteration
-from repro.exec.operator import execute
+from repro.exec.operator import execute_batches, set_batch_size
 from repro.obs import Observability
 from repro.obs.trace import BEGIN, END, QUERY_SPAN, Tracer
 from repro.plan.planner import Planner, PlannerOptions
+from repro.relational.batch import default_batch_size
 from repro.sql import ast
 from repro.sql.parser import parse, parse_select
 from repro.storage.database import Database
@@ -77,6 +78,7 @@ class WsqEngine:
         resilience=None,
         on_error=None,
         obs=None,
+        batch_size=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
@@ -114,6 +116,16 @@ class WsqEngine:
         if on_error is not None:
             self.planner_options.on_error = on_error
             self.rewrite_settings.on_error = on_error
+        #: Batch granularity every plan is stamped with and driven at.
+        #: ``1`` degenerates to the exact row-at-a-time schedule (also
+        #: reachable process-wide via ``REPRO_BATCH_SIZE=1``).
+        if batch_size is None:
+            batch_size = self.planner_options.batch_size
+        self.batch_size = (
+            batch_size if batch_size is not None else default_batch_size()
+        )
+        if self.rewrite_settings.batch_size is None:
+            self.rewrite_settings.batch_size = self.batch_size
         self.clients = {
             name: SearchClient(
                 self.web.engine(name),
@@ -202,7 +214,7 @@ class WsqEngine:
         plan = self._planner.plan(query)
         mode = self._resolve_mode(plan, mode)
         if mode == SYNC:
-            return plan
+            return set_batch_size(plan, self.batch_size)
         tracer = self.tracer
         context = AsyncContext(
             self.pump,
@@ -210,7 +222,8 @@ class WsqEngine:
             tracer=tracer,
             query_id=self._next_query_id(tracer),
         )
-        return apply_asynchronous_iteration(plan, context, self.rewrite_settings)
+        plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
+        return set_batch_size(plan, self.batch_size)
 
     def _resolve_mode(self, sync_plan, mode):
         """Resolve ``auto`` against the (still-synchronous) plan.
@@ -261,6 +274,7 @@ class WsqEngine:
                 query_id=query_id,
             )
             plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
+        set_batch_size(plan, self.batch_size)
         if tracer is not None:
             self._instrument_plan(plan, tracer, query_id)
         return plan, mode, query_id
@@ -272,12 +286,29 @@ class WsqEngine:
             tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode)
         started = self.clock.now()
         try:
-            rows = list(execute(plan))
+            rows = self._drain_batches(plan)
         finally:
             if tracer is not None:
                 tracer.emit(QUERY_SPAN, kind=END, query_id=query_id)
         elapsed = self.clock.now() - started
         return QueryResult(plan.schema.names(), rows, elapsed=elapsed)
+
+    def _drain_batches(self, plan):
+        """Run *plan* through the batch protocol; returns all rows.
+
+        The plan is opened/closed via the exception-safe context manager
+        (an abandoned generator would otherwise leak AEVScan pump
+        registrations), and every produced batch feeds the ``batch.rows``
+        size histogram so the vectorization's effective granularity is
+        observable per engine.
+        """
+        observe = self.pump.metrics.observe
+        rows = []
+        extend = rows.extend
+        for batch in execute_batches(plan, self.batch_size):
+            observe("batch.rows", len(batch))
+            extend(batch)
+        return rows
 
     def execute(self, sql, mode=ASYNC):
         """Run a SELECT and materialize its result."""
@@ -374,7 +405,7 @@ class WsqEngine:
             tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode, sql=sql)
             started = self.clock.now()
             try:
-                rows = list(execute(wrapped))
+                rows = self._drain_batches(wrapped)
             finally:
                 tracer.emit(QUERY_SPAN, kind=END, query_id=query_id)
             elapsed = self.clock.now() - started

@@ -27,18 +27,30 @@ from repro.util.timing import resolve_clock
 
 
 class OperatorStats:
-    """Counters for one wrapped operator."""
+    """Counters for one wrapped operator.
 
-    __slots__ = ("label", "depth", "opens", "nexts", "closes", "rows", "seconds")
+    ``nexts`` counts row pulls, ``batches`` counts batch pulls; ``rows``
+    accumulates across both protocols (a batch of *n* adds *n*).
+    """
+
+    __slots__ = (
+        "label", "depth", "opens", "nexts", "batches", "closes", "rows", "seconds",
+    )
 
     def __init__(self, label, depth):
         self.label = label
         self.depth = depth
         self.opens = 0
         self.nexts = 0
+        self.batches = 0
         self.closes = 0
         self.rows = 0
         self.seconds = 0.0
+
+    @property
+    def pulls(self):
+        """Consumer round trips, whichever protocol drove the operator."""
+        return self.nexts + self.batches
 
 
 class _ProfiledOperator(Operator):
@@ -52,6 +64,12 @@ class _ProfiledOperator(Operator):
         self.query_id = query_id
         self.schema = inner.schema
         self.children = inner.children  # wrapped by profile_plan
+        self.batch_size = getattr(inner, "batch_size", self.batch_size)
+        if hasattr(inner, "open_batch"):
+            # Preserve the inner scan's batched-parameterization
+            # capability: DependentJoin's fast path is a duck-typed
+            # ``open_batch`` check, which must see through the wrapper.
+            self.open_batch = self._open_batch
 
     def _timed(self, fn, *args):
         started = self.clock.now()
@@ -70,12 +88,35 @@ class _ProfiledOperator(Operator):
         else:
             self._timed(self.inner.open, bindings)
 
+    def _open_batch(self, bindings_list):
+        self.stats.opens += 1
+        if self.tracer is not None:
+            with self.tracer.span(
+                "op.open", query_id=self.query_id, operator=self.stats.label
+            ):
+                self._timed(self.inner.open_batch, bindings_list)
+        else:
+            self._timed(self.inner.open_batch, bindings_list)
+
     def next(self):
         self.stats.nexts += 1
         row = self._timed(self.inner.next)
         if row is not None:
             self.stats.rows += 1
         return row
+
+    def next_batch(self, max_rows=None):
+        self.stats.batches += 1
+        if self.tracer is not None:
+            with self.tracer.span(
+                "op.next_batch", query_id=self.query_id, operator=self.stats.label
+            ):
+                batch = self._timed(self.inner.next_batch, max_rows)
+        else:
+            batch = self._timed(self.inner.next_batch, max_rows)
+        if batch is not None:
+            self.stats.rows += len(batch)
+        return batch
 
     def close(self):
         # Teardown is timed too: ReqSync draining/cancelling pending
@@ -223,7 +264,7 @@ class ProfileReport:
             )
         ]
         header = "{:<58}{:>8}{:>9}{:>10}{:>10}".format(
-            "operator", "rows", "nexts", "cum(s)", "self(s)"
+            "operator", "rows", "pulls", "cum(s)", "self(s)"
         )
         lines.append(header)
         for stat, self_time in zip(self.operator_stats, self._self_times()):
@@ -232,7 +273,7 @@ class ProfileReport:
                 label = label[:53] + "..."
             lines.append(
                 "{:<58}{:>8}{:>9}{:>10.4f}{:>10.4f}".format(
-                    label, stat.rows, stat.nexts, stat.seconds, self_time
+                    label, stat.rows, stat.pulls, stat.seconds, self_time
                 )
             )
         if self.engine_deltas:
