@@ -1,10 +1,13 @@
 """ReqSync placement: Insertion, Percolation, Consolidation (Section 4.5).
 
-The input is a conventional physical plan containing
-:class:`~repro.vtables.evscan.EVScan` leaves (under dependent joins); the
-output is the same plan with every EVScan replaced by an
-:class:`~repro.asynciter.aevscan.AEVScan` and ReqSync operators placed to
-maximize the number of concurrently outstanding external calls.
+Historically this module *was* the placement algorithm, implemented as
+ad-hoc pattern matching over the physical operator classes.  Since the
+optimizer refactor the algorithm lives in the rule-driven optimizer —
+:func:`repro.plan.rules.reqsync_pack` over the
+:mod:`repro.plan.logical` algebra — and this module is a thin
+backward-compatible adapter: :func:`apply_asynchronous_iteration` lifts
+a physical plan into the algebra, runs the rule engine to its fixed
+point, and lowers the result back onto executable operators.
 
 Clash rules (an operator O clashes with ReqSync_i, whose filled attribute
 set is A_i):
@@ -16,7 +19,7 @@ set is A_i):
 3. O is an aggregation or existential operator (needs an accurate tally);
    we also conservatively treat LIMIT as counting.
 
-Enabling rewrites implemented:
+Enabling rewrites (each is one :class:`~repro.plan.rules.Rule`):
 
 - a clashing nested-loop join is rewritten into a selection over a
   cross-product (the paper's Example 3), letting ReqSync rise through the
@@ -33,22 +36,20 @@ Finally, adjacent ReqSync operators are merged (their runtime already
 manages any number of pending calls per tuple, Section 4.4).
 """
 
-from repro.asynciter.aevscan import AEVScan
-from repro.asynciter.reqsync import ReqSync
-from repro.exec.aggregate import Aggregate
-from repro.exec.distinct import Distinct
-from repro.exec.filter import Filter
-from repro.exec.joins import CrossProduct, DependentJoin, NestedLoopJoin
-from repro.exec.project import Project
-from repro.exec.sort import Sort
-from repro.exec.union import UnionAll
-from repro.relational.expr import ColumnRef
-from repro.util.errors import PlanError
-from repro.vtables.evscan import EVScan
+from repro.plan.logical import lift, placeholder_columns
+from repro.plan.physical import ExecOptions, lower
+from repro.plan.rules import RuleEngine, reqsync_pack
 
 
 class RewriteSettings:
-    """Knobs for the placement algorithm (defaults follow the paper)."""
+    """Knobs for the placement algorithm (defaults follow the paper).
+
+    Kept as the back-compat configuration surface; at lowering time the
+    knobs are consolidated into one
+    :class:`~repro.plan.physical.ExecOptions` (see
+    :meth:`~repro.plan.physical.ExecOptions.from_knobs` for the
+    precedence that resolves them against ``PlannerOptions``).
+    """
 
     def __init__(
         self,
@@ -63,8 +64,10 @@ class RewriteSettings:
         self.pull_above_order_sensitive = pull_above_order_sensitive
         self.consolidate = consolidate
         self.wait_timeout = wait_timeout
-        #: Graceful-degradation policy for failed calls: "raise" (default),
-        #: "drop", or "null" — see :class:`~repro.asynciter.reqsync.ReqSync`.
+        #: Graceful-degradation policy for failed calls: ``None`` (defer
+        #: to the resolved :class:`~repro.plan.physical.ExecOptions`
+        #: policy, default "raise"), "raise", "drop", or "null" — see
+        #: :class:`~repro.asynciter.reqsync.ReqSync`.
         self.on_error = on_error
         #: Batch granularity stamped onto every ReqSync this rewrite
         #: creates (``None`` = the operator default).  This governs how
@@ -72,295 +75,55 @@ class RewriteSettings:
         #: registrations — one ReqSync admission pull covers.
         self.batch_size = batch_size
 
+    def exec_options(self):
+        """The consolidated execution knobs these settings imply."""
+        return ExecOptions.from_knobs(rewrite_settings=self)
 
-def apply_asynchronous_iteration(plan, context, settings=None):
-    """Rewrite *plan* for asynchronous iteration; returns the new root."""
+
+def apply_asynchronous_iteration(
+    plan, context, settings=None, tracer=None, metrics=None, query_id=None
+):
+    """Rewrite *plan* for asynchronous iteration; returns the new root.
+
+    *plan* is a physical (synchronous) plan; the returned plan is a
+    freshly lowered tree — EVScans replaced by AEVScans registered on
+    *context*, with ReqSync operators placed by the rule engine.  Pass
+    *tracer*/*metrics* to record ``plan.rule_fired`` events and the
+    ``planner.rules_fired`` counter; the firings are also returned by
+    :func:`rewrite_logical` for callers that want them.
+    """
     settings = settings or RewriteSettings()
-    root = _Root(plan)
-    _insert(root, context, settings)
-    _percolate(root, settings)
-    if settings.consolidate:
-        _consolidate(root)
-    return root.child
+    node, _ = rewrite_logical(
+        lift(plan), settings, tracer=tracer, metrics=metrics, query_id=query_id
+    )
+    return lower(node, settings.exec_options(), context)
 
 
-# -- tree plumbing ----------------------------------------------------------------
+def rewrite_logical(node, settings=None, tracer=None, metrics=None, query_id=None):
+    """Run the ReqSync rule pack over a *logical* tree.
 
-
-class _Root:
-    """Sentinel parent above the real root, so every node has a parent."""
-
-    def __init__(self, child):
-        self.child = child
-        self.children = (child,)
-        self.schema = child.schema
-
-
-_CHILD_SLOTS = ("child", "left", "right")
-
-
-def _set_child(op, old, new):
-    """Replace *old* with *new* among op's children (named attr + tuple)."""
-    replaced = False
-    for slot in _CHILD_SLOTS:
-        if hasattr(op, slot) and getattr(op, slot) is old:
-            setattr(op, slot, new)
-            replaced = True
-            break
-    if not replaced:
-        raise PlanError("rewrite error: child not found on {}".format(op.label()))
-    op.children = tuple(new if c is old else c for c in op.children)
-
-
-def _walk_with_parents(op, parent=None):
-    yield parent, op
-    for child in op.children:
-        yield from _walk_with_parents(child, op)
-
-
-def _is_left_child(parent, node):
-    return getattr(parent, "left", None) is node
-
-
-def _left_arity(parent):
-    return len(parent.left.schema)
-
-
-# -- filled-attribute analysis ---------------------------------------------------------
+    Returns ``(optimized_node, firings)`` without lowering — the
+    engine's native path, which lowers once with its fully resolved
+    :class:`~repro.plan.physical.ExecOptions`.
+    """
+    settings = settings or RewriteSettings()
+    engine = RuleEngine(
+        reqsync_pack(settings),
+        settings=settings,
+        tracer=tracer,
+        metrics=metrics,
+        query_id=query_id,
+    )
+    return engine.run(node), engine.firings
 
 
 def filled_columns(op):
     """Indexes in ``op.schema`` that may still hold placeholders.
 
     A ReqSync resolves everything below it, so its own filled set is
-    empty; AEVScans introduce their result columns.
+    empty; AEVScans introduce their result columns.  (Back-compat shim:
+    the analysis itself is
+    :func:`repro.plan.logical.placeholder_columns`; this lifts the
+    physical subtree and delegates.)
     """
-    if isinstance(op, AEVScan):
-        positions = {c.name: i for i, c in enumerate(op.instance.schema)}
-        return {positions[col] for col in op.instance.result_fields}
-    if isinstance(op, (ReqSync, EVScan)):
-        return set()
-    if isinstance(op, Project):
-        below = filled_columns(op.child)
-        filled = set()
-        for out_index, expr in enumerate(op.expressions):
-            if isinstance(expr, ColumnRef) and expr.index in below:
-                filled.add(out_index)
-        return filled
-    if isinstance(op, (CrossProduct, NestedLoopJoin, DependentJoin)):
-        left_width = len(op.left.schema)
-        return filled_columns(op.left) | {
-            i + left_width for i in filled_columns(op.right)
-        }
-    if isinstance(op, UnionAll):
-        return filled_columns(op.left) | filled_columns(op.right)
-    if isinstance(op, Aggregate):
-        return set()
-    if op.children:
-        # Unary pass-through operators (Filter, Sort, Distinct, Limit).
-        return filled_columns(op.children[0])
-    return set()  # leaf scans
-
-
-# -- step 1: insertion --------------------------------------------------------------------
-
-
-def _insert(root, context, settings):
-    """Convert EVScan -> AEVScan and put a ReqSync directly above each."""
-    for parent, node in list(_walk_with_parents(root.child, root)):
-        if isinstance(node, EVScan):
-            aevscan = AEVScan(node.instance, context)
-            reqsync = _make_reqsync(aevscan, context, settings)
-            _set_child(parent, node, reqsync)
-
-
-def _make_reqsync(child, context, settings):
-    kwargs = {"stream": settings.stream}
-    if settings.wait_timeout is not None:
-        kwargs["wait_timeout"] = settings.wait_timeout
-    if settings.on_error is not None:
-        kwargs["on_error"] = settings.on_error
-    reqsync = ReqSync(child, context, **kwargs)
-    if settings.batch_size is not None:
-        reqsync.batch_size = settings.batch_size
-    return reqsync
-
-
-# -- step 2: percolation ----------------------------------------------------------------------
-
-
-def _percolate(root, settings):
-    changed = True
-    while changed:
-        changed = False
-        # Merge adjacent ReqSyncs eagerly: an outer ReqSync over an inner
-        # one has an empty filled set, so it would otherwise float to the
-        # top of the plan as a no-op instead of merging.
-        if settings.consolidate and _consolidate_once(root):
-            continue
-        parents = {id(c): p for p, c in _walk_with_parents(root.child, root)}
-        for parent, node in list(_walk_with_parents(root.child, root)):
-            if not isinstance(node, ReqSync):
-                continue
-            if _try_advance(parents, parent, node, settings):
-                changed = True
-                break  # tree changed: restart traversal
-
-
-def _try_advance(parents, parent, reqsync, settings):
-    """Attempt one upward move of *reqsync* past *parent*."""
-    if isinstance(parent, (_Root, ReqSync)):
-        return False
-    grandparent = parents[id(parent)]
-    filled = filled_columns(reqsync.child)
-    # Translate to the parent's output coordinates.
-    if isinstance(parent, (CrossProduct, NestedLoopJoin, DependentJoin)) and not _is_left_child(parent, reqsync):
-        offset = _left_arity(parent)
-        filled_in_parent = {i + offset for i in filled}
-    else:
-        filled_in_parent = set(filled)
-
-    if isinstance(parent, Filter):
-        if parent.predicate.referenced_columns() & filled_in_parent:
-            # Clash rule 1 — but a selection can be hoisted above ITS
-            # parent first, clearing the way.
-            return _hoist_filter(parents, parent)
-        _swap_up(grandparent, parent, reqsync)
-        return True
-
-    if isinstance(parent, Project):
-        kept = _projected_sources(parent)
-        if not filled_in_parent <= kept:
-            return False  # clash rule 2: projection drops a filled attr
-        if _computed_inputs(parent) & filled_in_parent:
-            return False  # clash rule 1: computed output depends on a filled attr
-        _swap_up(grandparent, parent, reqsync)
-        return True
-
-    if isinstance(parent, DependentJoin):
-        if _is_left_child(parent, reqsync):
-            binding_refs = set(parent.binding_columns.values())
-            if binding_refs & filled_in_parent:
-                return False  # the join's inner bindings depend on the values
-        _swap_up(grandparent, parent, reqsync)
-        return True
-
-    if isinstance(parent, NestedLoopJoin):
-        if parent.predicate.referenced_columns() & filled_in_parent:
-            # Clash rule 1: rewrite join -> selection over cross-product.
-            _rewrite_join_as_selection(grandparent, parent)
-            return True
-        _swap_up(grandparent, parent, reqsync)
-        return True
-
-    if isinstance(parent, (CrossProduct, UnionAll)):
-        _swap_up(grandparent, parent, reqsync)
-        return True
-
-    if isinstance(parent, Sort):
-        keys = set()
-        for expr, _ in parent.keys:
-            keys |= expr.referenced_columns()
-        if keys & filled_in_parent:
-            return False  # clash rule 1
-        if not settings.pull_above_order_sensitive:
-            return False
-        # Extension: pull above the sort, switching to ordered emission so
-        # the sorted order survives.
-        reqsync.preserve_order = True
-        _swap_up(grandparent, parent, reqsync)
-        return True
-
-    # Aggregate, Distinct (rule 3), Limit (counting) and anything unknown.
-    return False
-
-
-def _swap_up(grandparent, parent, reqsync):
-    """grandparent -> parent -> ... reqsync ...  becomes
-    grandparent -> reqsync -> parent -> ... (reqsync's old child)."""
-    _set_child(parent, reqsync, reqsync.child)
-    _set_child(grandparent, parent, reqsync)
-    reqsync.child = parent
-    reqsync.children = (parent,)
-    reqsync.schema = parent.schema
-
-
-def _rewrite_join_as_selection(grandparent, join):
-    product = CrossProduct(join.left, join.right)
-    selection = Filter(product, join.predicate)
-    _set_child(grandparent, join, selection)
-
-
-def _hoist_filter(parents, filter_op):
-    """Move *filter_op* above its own parent when the two commute.
-
-    Returns True if the tree changed.  Commuting pairs: a selection rises
-    through filters, sorts, distincts, cross products, and joins; its
-    predicate is remapped when it sat on the right side of a binary
-    operator.  (This is the paper's "if O is a projection or selection,
-    we can pull O above its parent first".)
-    """
-    target = parents.get(id(filter_op))
-    if target is None or isinstance(target, (_Root, ReqSync)):
-        return False
-    great = parents.get(id(target))
-    if great is None:
-        return False
-    if isinstance(target, (Filter, Sort, Distinct)):
-        predicate = filter_op.predicate
-    elif isinstance(target, (CrossProduct, NestedLoopJoin, DependentJoin)):
-        if _is_left_child(target, filter_op):
-            predicate = filter_op.predicate
-        else:
-            offset = _left_arity(target)
-            refs = filter_op.predicate.referenced_columns()
-            predicate = filter_op.predicate.remap({i: i + offset for i in refs})
-    else:
-        return False
-    # Splice the selection out of its slot, then re-create it (with the
-    # remapped predicate) above the operator it commuted past.
-    _set_child(target, filter_op, filter_op.child)
-    _set_child(great, target, Filter(target, predicate))
-    return True
-
-
-# -- step 3: consolidation ------------------------------------------------------------------------
-
-
-def _consolidate(root):
-    while _consolidate_once(root):
-        pass
-
-
-def _consolidate_once(root):
-    for _, node in _walk_with_parents(root.child, root):
-        if isinstance(node, ReqSync) and isinstance(node.child, ReqSync):
-            inner = node.child
-            # Merge: one ReqSync manages both calls' placeholders.
-            node.child = inner.child
-            node.children = (inner.child,)
-            node.schema = inner.child.schema
-            node.preserve_order = node.preserve_order or inner.preserve_order
-            return True
-    return False
-
-
-# -- helpers -------------------------------------------------------------------------
-
-
-def _projected_sources(project):
-    """Input indexes that survive (as pass-through columns) a projection."""
-    kept = set()
-    for expr in project.expressions:
-        if isinstance(expr, ColumnRef):
-            kept.add(expr.index)
-    return kept
-
-
-def _computed_inputs(project):
-    """Input indexes consumed by *computed* projection expressions."""
-    inputs = set()
-    for expr in project.expressions:
-        if not isinstance(expr, ColumnRef):
-            inputs |= expr.referenced_columns()
-    return inputs
+    return placeholder_columns(lift(op))

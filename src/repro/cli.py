@@ -8,7 +8,7 @@ queries over our WSQ implementation"; this REPL is ours::
          Order By Count Desc;
 
 Dot-commands: ``.help``, ``.tables``, ``.mode sync|async``,
-``.explain <query>``, ``.stats``, ``.quit``.
+``.explain [form] <query>``, ``.stats``, ``.quit``.
 """
 
 import argparse
@@ -37,7 +37,9 @@ HELP = """Statements end with ';'.  Dot-commands:
   .help              this text
   .tables            list stored tables (and indexes)
   .mode [sync|async|auto]  show or set execution mode
-  .explain <query>   show the (rewritten) plan without running it
+  .explain [FORM] <query>  show the plan without running it; FORM is one
+                     of logical|optimized|physical|rules|costs
+                     (default physical)
   .profile <query>   run with per-operator instrumentation + trace
   .stats             pump / engine / cache statistics
   .metrics           metrics-registry snapshot (latency percentiles)
@@ -261,11 +263,16 @@ def _dot_command(engine, line, mode):
             mode = argument
         print("mode:", mode)
     elif command == ".explain":
+        form = "physical"
+        head = argument.split(None, 1)
+        if head and head[0].lower() in engine.EXPLAIN_FORMS:
+            form = head[0].lower()
+            argument = head[1] if len(head) > 1 else ""
         if not argument:
-            print("usage: .explain <query>")
+            print("usage: .explain [{}] <query>".format("|".join(engine.EXPLAIN_FORMS)))
         else:
             try:
-                print(engine.explain(argument.rstrip(";"), mode=mode))
+                print(engine.explain(argument.rstrip(";"), mode=mode, form=form))
             except ReproError as exc:
                 _print_error(exc)
     elif command == ".profile":

@@ -28,7 +28,11 @@ from repro.obs.export import (
     write_metrics,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.schema import assert_valid_chrome_trace, validate_chrome_trace
+from repro.obs.schema import (
+    assert_valid_chrome_trace,
+    validate_chrome_trace,
+    validate_trace_events,
+)
 from repro.obs.trace import Tracer, TraceEvent, enabled_tracer
 from repro.util.timing import resolve_clock
 
@@ -85,6 +89,7 @@ __all__ = [
     "request_table",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_trace_events",
     "write_chrome_trace",
     "write_metrics",
 ]

@@ -1,14 +1,86 @@
-"""A tiny structural validator for exported Chrome-trace JSON.
+"""Tiny structural validators for the obs layer's two trace shapes.
 
 Not a JSON-Schema engine (no third-party deps): just the handful of
-invariants the Trace Event Format requires and our exporter promises,
-enough for CI to reject a malformed artifact before a human ever opens
-it in Perfetto.  Returns a list of problem strings; empty means valid.
+invariants the Trace Event Format requires and our exporter promises
+(:func:`validate_chrome_trace`), plus a registry-backed check that raw
+:class:`~repro.obs.trace.Tracer` events only use the canonical event
+taxonomy (:func:`validate_trace_events`) — enough for CI to reject a
+malformed artifact before a human ever opens it in Perfetto.  Both
+return a list of problem strings; empty means valid.
 """
+
+from repro.obs import trace as _trace
 
 _REQUIRED_TOP = ("traceEvents",)
 _VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C"}
 _NUMBER = (int, float)
+
+#: The canonical event-name taxonomy (DESIGN.md §8 + §10).  Every name a
+#: Tracer in this codebase emits must be registered here; the validator
+#: flags anything else so new subsystems extend the schema consciously.
+KNOWN_EVENT_NAMES = frozenset(
+    {
+        _trace.CALL_REGISTER,
+        _trace.CALL_DEDUP,
+        _trace.CALL_ENQUEUE,
+        _trace.CALL_ISSUE,
+        _trace.CALL_RETRY,
+        _trace.CALL_TIMEOUT,
+        _trace.CALL_BREAKER_REJECT,
+        _trace.CALL_COMPLETE,
+        _trace.CALL_CANCEL,
+        _trace.CALL_FAIL,
+        _trace.SYNC_WAIT,
+        _trace.SYNC_PATCH,
+        _trace.SYNC_CANCEL_TUPLE,
+        _trace.SYNC_PROLIFERATE,
+        _trace.SYNC_DEGRADE,
+        _trace.QUERY_SPAN,
+        _trace.OP_OPEN,
+        _trace.OP_NEXT,
+        _trace.OP_NEXT_BATCH,
+        _trace.OP_CLOSE,
+        _trace.WEB_CACHE_HIT,
+        _trace.PLAN_RULE_FIRED,
+    }
+)
+
+#: Per-event-name required ``args`` keys (beyond the common envelope).
+REQUIRED_EVENT_ARGS = {
+    _trace.PLAN_RULE_FIRED: ("rule", "before_nodes", "after_nodes"),
+}
+
+
+def validate_trace_events(events):
+    """Check raw Tracer events against the registered taxonomy.
+
+    *events* is an iterable of :class:`~repro.obs.trace.TraceEvent` (or
+    ``as_dict()`` payloads).  Returns problem strings; empty means valid.
+    """
+    errors = []
+    for index, event in enumerate(events):
+        payload = event.as_dict() if hasattr(event, "as_dict") else event
+        name = payload.get("name")
+        where = "events[{}]".format(index)
+        if not isinstance(name, str) or not name:
+            errors.append("{}: missing name".format(where))
+            continue
+        if name not in KNOWN_EVENT_NAMES:
+            errors.append(
+                "{}: unregistered event name {!r}".format(where, name)
+            )
+            continue
+        required = REQUIRED_EVENT_ARGS.get(name)
+        if required:
+            args = payload.get("args") or {}
+            for key in required:
+                if key not in args:
+                    errors.append(
+                        "{}: {} missing required arg {!r}".format(
+                            where, name, key
+                        )
+                    )
+    return errors
 
 
 def validate_chrome_trace(payload):

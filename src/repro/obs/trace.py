@@ -67,6 +67,11 @@ OP_NEXT_BATCH = "op.next_batch"
 OP_CLOSE = "op.close"
 WEB_CACHE_HIT = "web.cache_hit"
 
+#: Planner events: one per optimizer-rule application (args carry the
+#: rule name and before/after node counts; ``explain(form="rules")``
+#: shows the same data without tracing).
+PLAN_RULE_FIRED = "plan.rule_fired"
+
 #: Names that settle a call (used by the analyzers).
 CALL_SETTLED = (CALL_COMPLETE, CALL_CANCEL, CALL_FAIL)
 

@@ -244,7 +244,7 @@ class CostModel:
         return network + local
 
     def explain(self, plan):
-        """Human-readable cost breakdown."""
+        """Human-readable cost breakdown (one-line plan summary)."""
         estimate = self._walk(plan)
         return (
             "rows~{:.0f}  local-rows~{:.0f}  external-calls~{:.0f} ({})  "
@@ -260,6 +260,28 @@ class CostModel:
                 self.seconds(plan),
             )
         )
+
+    def annotation(self, op):
+        """Short per-operator cost column for annotated explains."""
+        estimate = self._walk(op)
+        parts = ["rows~{:.0f}".format(estimate.rows)]
+        calls = estimate.total_calls() + estimate.issued
+        if calls:
+            parts.append("calls~{:.0f}".format(calls))
+        if estimate.waves:
+            parts.append("waves~{:.1f}".format(estimate.waves))
+        return " ".join(parts)
+
+    def annotated_explain(self, plan):
+        """The plan tree with a per-operator cost column.
+
+        One renderer for both explain flavors: this delegates to
+        :meth:`repro.exec.operator.Operator.explain` with
+        :meth:`annotation` as the column callback, so cost-annotated
+        output is the ordinary physical form plus a column rather than a
+        separate format.
+        """
+        return plan.explain(annotate=self.annotation)
 
     # -- structural walk --------------------------------------------------------------
 

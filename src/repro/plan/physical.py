@@ -1,0 +1,244 @@
+"""Lowering: logical algebra -> the executable operator tree.
+
+Layer 3 of the planning stack (see :mod:`repro.plan.logical`).
+:func:`lower` walks an (optimized) logical tree and instantiates the
+existing exec operators 1:1 — payloads (table handles, bound
+expressions, virtual-table instances, binding maps) were carried by
+reference through the logical layer, so the produced plan is
+structurally identical to what the pre-IR pipeline built.
+
+Execution knobs live in one place here: :class:`ExecOptions`.
+Historically ``on_error`` / ``batch_size`` / ``wait_timeout`` were
+threaded redundantly through ``PlannerOptions``, ``RewriteSettings``,
+and the engine, with drifting defaults (``RewriteSettings(on_error=None)``
+deferred to the operator default while ``PlannerOptions`` said
+``"raise"`` explicitly).  :meth:`ExecOptions.from_knobs` is now the
+single resolution point with a documented precedence, so the sync and
+async paths always agree.
+"""
+
+from repro.util.errors import PlanError
+
+from repro.plan import logical as L
+
+#: Default graceful-degradation policy (matches the operator defaults).
+DEFAULT_ON_ERROR = "raise"
+
+
+class ExecOptions:
+    """Consolidated execution knobs applied while lowering a plan.
+
+    ``on_error``
+        Graceful-degradation policy (``"raise"``/``"drop"``/``"null"``)
+        stamped on every external scan and ReqSync.
+    ``batch_size``
+        Row granularity stamped over the lowered tree (``None`` = the
+        operator default, see :func:`repro.exec.operator.set_batch_size`).
+    ``wait_timeout``
+        Per-wave ReqSync timeout in seconds (``None`` = operator
+        default).
+    ``stream``
+        Default streaming mode for ReqSyncs whose logical node does not
+        pin one (the rule pack always pins it, so this mostly serves
+        hand-built plans).
+    """
+
+    __slots__ = ("on_error", "batch_size", "wait_timeout", "stream")
+
+    def __init__(
+        self,
+        on_error=DEFAULT_ON_ERROR,
+        batch_size=None,
+        wait_timeout=None,
+        stream=False,
+    ):
+        if on_error not in ("raise", "drop", "null"):
+            raise PlanError(
+                "unknown on_error policy {!r}; expected raise/drop/null".format(
+                    on_error
+                )
+            )
+        self.on_error = on_error
+        self.batch_size = batch_size
+        self.wait_timeout = wait_timeout
+        self.stream = stream
+
+    @classmethod
+    def from_knobs(
+        cls,
+        planner_options=None,
+        rewrite_settings=None,
+        on_error=None,
+        batch_size=None,
+    ):
+        """Resolve the historical knob triplet into one struct.
+
+        Precedence (most specific wins):
+
+        1. explicit ``on_error`` / ``batch_size`` arguments (engine-level
+           overrides);
+        2. ``RewriteSettings`` values, when set (non-``None``);
+        3. ``PlannerOptions`` values, when set;
+        4. the defaults (``"raise"`` / operator-default batch size).
+
+        This fixes the historical drift where
+        ``RewriteSettings(on_error=None)`` silently meant "operator
+        default" while ``PlannerOptions`` defaulted to an explicit
+        ``"raise"`` — both entry points now resolve identically.
+        """
+        resolved_on_error = None
+        resolved_batch = None
+        wait_timeout = None
+        stream = False
+        if planner_options is not None:
+            resolved_on_error = getattr(planner_options, "on_error", None)
+            resolved_batch = getattr(planner_options, "batch_size", None)
+        if rewrite_settings is not None:
+            if getattr(rewrite_settings, "on_error", None) is not None:
+                resolved_on_error = rewrite_settings.on_error
+            if getattr(rewrite_settings, "batch_size", None) is not None:
+                resolved_batch = rewrite_settings.batch_size
+            wait_timeout = getattr(rewrite_settings, "wait_timeout", None)
+            stream = bool(getattr(rewrite_settings, "stream", False))
+        if on_error is not None:
+            resolved_on_error = on_error
+        if batch_size is not None:
+            resolved_batch = batch_size
+        return cls(
+            on_error=resolved_on_error or DEFAULT_ON_ERROR,
+            batch_size=resolved_batch,
+            wait_timeout=wait_timeout,
+            stream=stream,
+        )
+
+    def __repr__(self):
+        return (
+            "ExecOptions(on_error={!r}, batch_size={!r}, wait_timeout={!r}, "
+            "stream={!r})".format(
+                self.on_error, self.batch_size, self.wait_timeout, self.stream
+            )
+        )
+
+
+def lower(node, options=None, context=None):
+    """Lower *node* (a logical tree) to an executable operator tree.
+
+    *context* is the :class:`~repro.asynciter.context.AsyncContext`
+    required when the tree contains asynchronous nodes (AEVScan /
+    ReqSync); lowering a purely synchronous tree needs none.  When
+    ``options.batch_size`` is set the finished tree is stamped with it
+    (exactly as the legacy pipeline did after planning + rewriting).
+    """
+    options = options or ExecOptions()
+    plan = _lower(node, options, context)
+    if options.batch_size is not None:
+        from repro.exec.operator import set_batch_size
+
+        set_batch_size(plan, options.batch_size)
+    return plan
+
+
+def _lower(node, options, context):
+    # Imports are local so `repro.plan` stays importable without pulling
+    # the full exec/asynciter stack at module-import time.
+    from repro.exec.aggregate import Aggregate
+    from repro.exec.distinct import Distinct
+    from repro.exec.filter import Filter
+    from repro.exec.indexscan import IndexScan
+    from repro.exec.joins import CrossProduct, DependentJoin, NestedLoopJoin
+    from repro.exec.limit import Limit
+    from repro.exec.project import Project
+    from repro.exec.scans import RowsScan, TableScan
+    from repro.exec.sort import Sort
+    from repro.exec.union import UnionAll
+
+    if isinstance(node, L.LogicalScan):
+        if node.index is not None:
+            return IndexScan(
+                node.table,
+                node.index,
+                qualifier=node.alias,
+                low=node.low,
+                high=node.high,
+                include_low=node.include_low,
+                include_high=node.include_high,
+            )
+        return TableScan(node.table, node.alias)
+    if isinstance(node, L.LogicalRowsScan):
+        return RowsScan(node.schema, node.rows_data, node.name)
+    if isinstance(node, L.LogicalVTableScan):
+        return _lower_vtable_scan(node, options, context)
+    if isinstance(node, L.LogicalReqSync):
+        return _lower_reqsync(node, options, context)
+    if isinstance(node, L.LogicalFilter):
+        return Filter(_lower(node.child, options, context), node.predicate)
+    if isinstance(node, L.LogicalProject):
+        return Project(
+            _lower(node.child, options, context), node.expressions, node.schema
+        )
+    if isinstance(node, L.LogicalAggregate):
+        return Aggregate(
+            _lower(node.child, options, context),
+            node.group_exprs,
+            node.specs,
+            node.schema,
+        )
+    if isinstance(node, L.LogicalDistinct):
+        return Distinct(_lower(node.child, options, context))
+    if isinstance(node, L.LogicalSort):
+        return Sort(_lower(node.child, options, context), node.keys)
+    if isinstance(node, L.LogicalLimit):
+        return Limit(_lower(node.child, options, context), node.count)
+    if isinstance(node, L.LogicalJoin):
+        return NestedLoopJoin(
+            _lower(node.left, options, context),
+            _lower(node.right, options, context),
+            node.predicate,
+        )
+    if isinstance(node, L.LogicalDependentJoin):
+        return DependentJoin(
+            _lower(node.left, options, context),
+            _lower(node.right, options, context),
+            node.binding_columns,
+        )
+    if isinstance(node, L.LogicalCrossProduct):
+        return CrossProduct(
+            _lower(node.left, options, context),
+            _lower(node.right, options, context),
+        )
+    if isinstance(node, L.LogicalUnion):
+        return UnionAll(
+            _lower(node.left, options, context),
+            _lower(node.right, options, context),
+        )
+    raise PlanError("cannot lower logical node {!r}".format(node))
+
+
+def _lower_vtable_scan(node, options, context):
+    if node.asynchronous:
+        from repro.asynciter.aevscan import AEVScan
+
+        if context is None:
+            raise PlanError(
+                "lowering an asynchronous plan requires an AsyncContext"
+            )
+        return AEVScan(node.instance, context)
+    from repro.vtables.evscan import EVScan
+
+    on_error = node.on_error if node.on_error is not None else options.on_error
+    return EVScan(node.instance, on_error=on_error)
+
+
+def _lower_reqsync(node, options, context):
+    from repro.asynciter.reqsync import ReqSync
+
+    if context is None:
+        raise PlanError("lowering a ReqSync requires an AsyncContext")
+    kwargs = {"stream": node.stream, "preserve_order": node.preserve_order}
+    if options.wait_timeout is not None:
+        kwargs["wait_timeout"] = options.wait_timeout
+    kwargs["on_error"] = options.on_error
+    reqsync = ReqSync(_lower(node.child, options, context), context, **kwargs)
+    if options.batch_size is not None:
+        reqsync.batch_size = options.batch_size
+    return reqsync

@@ -1,7 +1,7 @@
-"""Physical plan construction.
+"""Plan construction: SQL AST -> logical algebra -> physical operators.
 
-``Planner.plan(query)`` turns a parsed SELECT into a tree of executable
-operators:
+``Planner.plan_logical(query)`` turns a parsed SELECT into a
+:mod:`repro.plan.logical` tree:
 
 1. FROM items resolve to stored tables or virtual-table occurrences.
 2. Virtual-table usage analysis (:mod:`repro.plan.analysis`) fixes each
@@ -15,31 +15,27 @@ operators:
 5. GROUP BY/aggregates, HAVING, DISTINCT, ORDER BY (with hidden sort
    columns for non-projected keys), and LIMIT complete the plan.
 
+``Planner.optimize(node)`` then runs the opt-in relational rule packs
+(``PlannerOptions(logical_rules=...)``) through the
+:mod:`repro.plan.rules` engine, and ``Planner.plan(query)`` — the
+historical entry point — composes all three layers: build, optimize,
+then :func:`repro.plan.physical.lower` to executable operators.
+
 The output is a *synchronous* plan (EVScan leaves); asynchronous
-iteration is applied afterwards by
-:func:`repro.asynciter.rewrite.apply_asynchronous_iteration`.
+iteration is the :func:`repro.plan.rules.reqsync_pack` applied over the
+logical form (or, for legacy physical plans, through the
+:func:`repro.asynciter.rewrite.apply_asynchronous_iteration` adapter).
 """
 
-from repro.exec import (
-    Aggregate,
-    AggregateSpec,
-    CrossProduct,
-    DependentJoin,
-    Distinct,
-    Filter,
-    Limit,
-    NestedLoopJoin,
-    Project,
-    Sort,
-    TableScan,
-)
+from repro.exec import AggregateSpec
+from repro.plan import logical as L
 from repro.plan.analysis import analyze_vtables, validate_bindings
 from repro.plan.binder import Binder, collect_aggregates, collect_names
+from repro.plan.physical import ExecOptions, lower
 from repro.relational.expr import ColumnRef, make_conjunction
 from repro.relational.schema import Column, Schema
 from repro.sql import ast
 from repro.util.errors import BindingError, PlanError
-from repro.vtables.evscan import EVScan
 
 
 class PlannerOptions:
@@ -52,6 +48,7 @@ class PlannerOptions:
         cost_reorder=False,
         on_error="raise",
         batch_size=None,
+        logical_rules=None,
     ):
         #: Reorder FROM items so virtual tables follow their providers
         #: (otherwise the FROM order must already be feasible).
@@ -67,12 +64,23 @@ class PlannerOptions:
         #: Graceful-degradation policy for EVScan call failures in
         #: synchronous plans ("raise" | "drop" | "null") — must match the
         #: ReqSync policy for sync/async result equivalence under faults.
+        #: (Kept as a back-compat kwarg; the single source of truth at
+        #: lowering time is :class:`repro.plan.physical.ExecOptions`.)
         self.on_error = on_error
         #: Batch granularity stamped over every operator of a produced
         #: plan (``None`` = leave the per-operator default, i.e. 256 or
         #: the ``REPRO_BATCH_SIZE`` environment override).  ``1``
         #: degenerates batching to the exact row-at-a-time schedule.
         self.batch_size = batch_size
+        #: Opt-in logical rule packs run by ``Planner.optimize`` — pack
+        #: names (``"pushdown"``/``"prune"``/``"reorder"``), Rule
+        #: classes, or Rule instances (see :data:`repro.plan.rules.PACKS`).
+        #: ``None``/empty keeps the seed pipeline's exact plan shapes.
+        self.logical_rules = tuple(logical_rules or ())
+
+    def exec_options(self):
+        """The consolidated execution knobs this planner configuration implies."""
+        return ExecOptions.from_knobs(planner_options=self)
 
 
 class _Relation:
@@ -103,17 +111,41 @@ class Planner:
     # -- public API -----------------------------------------------------------
 
     def plan(self, query):
-        """Build the physical plan for a parsed SELECT statement."""
+        """Build the physical plan for a parsed SELECT statement.
+
+        The historical entry point, now a composition of the three
+        planning layers: ``plan_logical`` (algebra construction),
+        ``optimize`` (opt-in rule packs), and
+        :func:`repro.plan.physical.lower`.
+        """
+        node, _ = self.optimize(self.plan_logical(query))
+        return lower(node, self.options.exec_options())
+
+    def plan_logical(self, query):
+        """Build the (unoptimized) logical plan for a parsed SELECT."""
         relations = self._resolve_from(query)
         usages, residual = self._analyze(query, relations)
         relations = self._order_relations(query, relations)
         plan, residual = self._build_join_tree(query, relations, residual)
-        plan = self._finish(query, plan, residual)
-        if self.options.batch_size is not None:
-            from repro.exec.operator import set_batch_size
+        return self._finish(query, plan, residual)
 
-            set_batch_size(plan, self.options.batch_size)
-        return plan
+    def optimize(self, node, tracer=None, metrics=None, query_id=None):
+        """Run the configured opt-in rule packs over *node*.
+
+        Returns ``(optimized_node, firings)``.  With no
+        ``logical_rules`` configured this is the identity — the default
+        pipeline preserves the seed planner's exact plan shapes.
+        """
+        from repro.plan.rules import RuleEngine, resolve_packs
+
+        groups = resolve_packs(self.options.logical_rules)
+        if not groups:
+            return node, []
+        engine = RuleEngine(
+            groups, tracer=tracer, metrics=metrics, query_id=query_id
+        )
+        node = engine.run(node)
+        return node, engine.firings
 
     # -- FROM resolution ------------------------------------------------------------
 
@@ -288,7 +320,7 @@ class Planner:
         """
         table = relation.table
         if not self.options.use_indexes or not getattr(table, "indexes", None):
-            return TableScan(table, relation.alias)
+            return L.LogicalScan(table, relation.alias)
         for index in table.indexes:
             bounds = _IndexBounds()
             consumed = []
@@ -303,18 +335,16 @@ class Planner:
             if consumed:
                 for conjunct in consumed:
                     residual.remove(conjunct)
-                from repro.exec.indexscan import IndexScan
-
-                return IndexScan(
+                return L.LogicalScan(
                     table,
-                    index,
-                    qualifier=relation.alias,
+                    relation.alias,
+                    index=index,
                     low=bounds.low,
                     high=bounds.high,
                     include_low=bounds.include_low,
                     include_high=bounds.include_high,
                 )
-        return TableScan(table, relation.alias)
+        return L.LogicalScan(table, relation.alias)
 
     def _sargable_bounds(self, conjunct, relation, column_name, sole_relation):
         """Bounds ``[(op, constant), ...]`` if *conjunct* restricts the column.
@@ -377,7 +407,7 @@ class Planner:
 
     def _attach_vtable(self, plan, relation):
         instance = relation.instance
-        scan = EVScan(instance, on_error=self.options.on_error)
+        scan = L.LogicalVTableScan(instance)
         dependent = {}
         for param, provider in relation.usage.dependent_terms.items():
             if plan is None:
@@ -413,7 +443,7 @@ class Planner:
                     relation.alias, missing
                 )
             )
-        return DependentJoin(plan, scan, dependent)
+        return L.LogicalDependentJoin(plan, scan, dependent)
 
     def _attach_table(self, plan, scan, residual):
         if plan is None:
@@ -437,8 +467,8 @@ class Planner:
             predicate = make_conjunction(
                 [binder.bind(c) for c in join_conjuncts]
             )
-            return NestedLoopJoin(plan, scan, predicate)
-        return CrossProduct(plan, scan)
+            return L.LogicalJoin(plan, scan, predicate)
+        return L.LogicalCrossProduct(plan, scan)
 
     def _push_filters(self, plan, residual):
         """Attach every residual conjunct that the current schema can bind."""
@@ -453,7 +483,7 @@ class Planner:
             else:
                 remaining.append(conjunct)
         if bound:
-            plan = Filter(plan, make_conjunction(bound))
+            plan = L.LogicalFilter(plan, make_conjunction(bound))
         return plan, remaining
 
     # -- aggregation / projection / ordering ----------------------------------------------------------
@@ -498,9 +528,9 @@ class Planner:
             query, plan, select_exprs, select_asts, output_schema
         )
         if query.distinct:
-            plan = Distinct(plan)
+            plan = L.LogicalDistinct(plan)
         if query.limit is not None:
-            plan = Limit(plan, query.limit)
+            plan = L.LogicalLimit(plan, query.limit)
         return plan
 
     def _expand_select(self, query, schema):
@@ -575,7 +605,7 @@ class Planner:
             for i, spec in enumerate(specs)
         ]
         agg_schema = Schema(agg_columns)
-        plan = Aggregate(plan, group_exprs, specs, agg_schema)
+        plan = L.LogicalAggregate(plan, group_exprs, specs, agg_schema)
 
         # Rebind select/having/order expressions over the aggregate output.
         rebinder = _AggregateRebinder(group_asts, agg_asts, agg_schema)
@@ -589,7 +619,7 @@ class Planner:
             names.append(self._item_name(item))
             asts.append(item.expr)
         if query.having is not None:
-            plan = Filter(plan, rebinder.rebind(query.having))
+            plan = L.LogicalFilter(plan, rebinder.rebind(query.having))
         return plan, select_exprs, names, asts
 
     # -- ordering & projection ---------------------------------------------------------
@@ -599,7 +629,10 @@ class Planner:
     ):
         """Project, then sort — adding hidden sort columns when needed."""
         if not query.order_by:
-            return Project(plan, select_exprs, output_schema), output_schema
+            return (
+                L.LogicalProject(plan, select_exprs, output_schema),
+                output_schema,
+            )
 
         input_binder = Binder(plan.schema)
         sort_keys = []  # (index into extended projection, descending)
@@ -618,15 +651,15 @@ class Planner:
             sort_keys.append((ColumnRef(index), order.descending))
 
         extended_schema = Schema(extended_columns, allow_duplicates=True)
-        plan = Project(plan, extended_exprs, extended_schema)
-        plan = Sort(plan, sort_keys)
+        plan = L.LogicalProject(plan, extended_exprs, extended_schema)
+        plan = L.LogicalSort(plan, sort_keys)
         if len(extended_exprs) > len(select_exprs):
             # Drop the hidden sort columns.
             keep = [
                 ColumnRef(i, output_schema[i].name)
                 for i in range(len(select_exprs))
             ]
-            plan = Project(plan, keep, output_schema)
+            plan = L.LogicalProject(plan, keep, output_schema)
         return plan, output_schema
 
     @staticmethod

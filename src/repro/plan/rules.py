@@ -1,0 +1,746 @@
+"""Rule-driven optimization over the logical algebra.
+
+This is layer 2 of the planning stack (see :mod:`repro.plan.logical`):
+a small fixed-point rule engine plus rule packs that re-express the
+repository's plan transformations — most importantly the paper's full
+ReqSync placement algorithm (Section 4.5: *Insertion → Percolation →
+Consolidation*, with clash rules 1–3 and the enabling rewrites) — as
+:class:`Rule` objects over :class:`~repro.plan.logical.LogicalNode`
+trees.
+
+Engine
+------
+
+A :class:`RuleEngine` holds an ordered list of *priority groups*; each
+group is an ordered list of rules.  One optimization step scans the tree
+(preorder for ``top_down`` rules, postorder for ``bottom_up`` rules) and
+fires the first rule that matches *and* changes the tree; the engine
+then restarts from the highest-priority group.  The run terminates at a
+fixed point (no rule in any group fires) or when every rule's fire
+budget is exhausted.  This restart discipline reproduces the seed
+rewriter's control flow exactly: the ReqSync pack's groups are
+``[[insert], [consolidate], [percolation rules]]``, matching the seed's
+"consolidate-once eagerly, then advance the first ReqSync found in
+preorder, then restart" loop.
+
+Each firing is recorded as a :class:`RuleFiring` (with before/after node
+counts — surfaced by ``explain(form="rules")``), emitted on the obs
+tracer as a ``plan.rule_fired`` event, and counted on the metrics
+registry as ``planner.rules_fired{rule=...}``.
+
+Rule packs
+----------
+
+:func:`reqsync_pack`
+    The paper's placement algorithm.  Runs by default on the
+    asynchronous path; behavior-preserving with respect to the seed
+    implementation (verified by golden snapshots and an A/B structural
+    diff against the frozen legacy rewriter in
+    ``tests/test_rule_equivalence.py``).
+:data:`PUSHDOWN_PACK`, :data:`PRUNE_PACK`, :data:`REORDER_PACK`
+    Classic relational rewrites (predicate pushdown, projection
+    pruning/identity elimination, size-based cross-product reordering).
+    These are *opt-in* via ``PlannerOptions(logical_rules=...)`` — the
+    default pipeline keeps the seed's exact plan shapes.
+"""
+
+from repro.obs.trace import PLAN_RULE_FIRED
+from repro.plan import logical as L
+from repro.relational.expr import ColumnRef, Conjunction, make_conjunction
+
+TOP_DOWN = "top_down"
+BOTTOM_UP = "bottom_up"
+
+#: Default per-rule fire budget; generous, but bounds runaway rewrites.
+DEFAULT_FIRE_BUDGET = 1000
+
+
+class _Root:
+    """Sentinel parent above the real root, so every node has a parent."""
+
+    def __init__(self, child):
+        self.child = child
+        self.children = (child,)
+        self.schema = child.schema
+
+    def replace_child(self, old, new):
+        assert old is self.child
+        self.child = new
+        self.children = (new,)
+        self.schema = new.schema
+
+
+class RuleContext:
+    """Per-scan state handed to rules: parent links and the knobs."""
+
+    def __init__(self, root, parents, settings=None):
+        self.root = root
+        self._parents = parents
+        self.settings = settings
+
+    def parent_of(self, node):
+        return self._parents.get(id(node))
+
+    def grandparent_of(self, node):
+        parent = self.parent_of(node)
+        if parent is None or isinstance(parent, _Root):
+            return None
+        return self._parents.get(id(parent))
+
+    def is_left_child(self, parent, node):
+        return getattr(parent, "left", None) is node
+
+    def left_arity(self, parent):
+        return len(parent.left.schema)
+
+
+class RuleFiring:
+    """Record of one rule application (shown by ``explain(form="rules")``)."""
+
+    __slots__ = ("rule", "before_nodes", "after_nodes")
+
+    def __init__(self, rule, before_nodes, after_nodes):
+        self.rule = rule
+        self.before_nodes = before_nodes
+        self.after_nodes = after_nodes
+
+    def as_dict(self):
+        return {
+            "rule": self.rule,
+            "before_nodes": self.before_nodes,
+            "after_nodes": self.after_nodes,
+        }
+
+    def __repr__(self):
+        return "<RuleFiring {} {}->{}>".format(
+            self.rule, self.before_nodes, self.after_nodes
+        )
+
+
+class Rule:
+    """One rewrite: ``matches(node, ctx)`` guards ``apply(node, ctx)``.
+
+    ``apply`` mutates the tree through ``replace_child`` and returns
+    True when it changed anything (a rule may match yet discover the
+    rewrite is not possible — e.g. a clashing selection that cannot be
+    hoisted — in which case it returns False and the scan continues).
+
+    ``direction`` chooses the scan order used when driving this rule:
+    ``top_down`` (preorder, the default — percolation wants the
+    *highest* ReqSync first) or ``bottom_up`` (postorder — composition
+    rules that shrink subtrees converge faster bottom-up).
+    """
+
+    name = "rule"
+    direction = TOP_DOWN
+
+    def matches(self, node, ctx):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def apply(self, node, ctx):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<Rule {}>".format(self.name)
+
+
+class RuleEngine:
+    """Fixed-point driver over priority groups of rules.
+
+    *groups* is an ordered list of rule lists.  ``run`` returns the
+    optimized root; firings accumulate on :attr:`firings`.
+    """
+
+    def __init__(
+        self,
+        groups,
+        settings=None,
+        fire_budget=DEFAULT_FIRE_BUDGET,
+        tracer=None,
+        metrics=None,
+        query_id=None,
+    ):
+        self.groups = [list(group) for group in groups]
+        self.settings = settings
+        self.fire_budget = fire_budget
+        self.tracer = tracer
+        self.metrics = metrics
+        self.query_id = query_id
+        self.firings = []
+        self.exhausted = set()
+        self._fires = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, node):
+        """Optimize *node* to a fixed point; returns the (new) root node."""
+        root = _Root(node)
+        changed = True
+        while changed:
+            changed = False
+            for group in self.groups:
+                if self._scan_group(root, group):
+                    changed = True
+                    break  # restart from the highest-priority group
+        return root.child
+
+    def rules(self):
+        for group in self.groups:
+            yield from group
+
+    # -- driver ---------------------------------------------------------------
+
+    def _scan_group(self, root, group):
+        """Fire at most one rule from *group*; True when the tree changed."""
+        active = [r for r in group if not self._budget_spent(r)]
+        if not active:
+            return False
+        top_down = [r for r in active if r.direction == TOP_DOWN]
+        bottom_up = [r for r in active if r.direction == BOTTOM_UP]
+        if top_down and self._scan(root, top_down, postorder=False):
+            return True
+        if bottom_up and self._scan(root, bottom_up, postorder=True):
+            return True
+        return False
+
+    def _scan(self, root, rules, postorder):
+        parents = {id(c): p for p, c in L.walk_with_parents(root.child, root)}
+        ctx = RuleContext(root, parents, self.settings)
+        order = list(L.walk(root.child))
+        if postorder:
+            order.reverse()
+        for node in order:
+            for rule in rules:
+                if self._budget_spent(rule):
+                    continue
+                if not rule.matches(node, ctx):
+                    continue
+                before = L.node_count(root.child)
+                if rule.apply(node, ctx):
+                    self._record(rule, before, L.node_count(root.child))
+                    return True
+        return False
+
+    def _budget_spent(self, rule):
+        if self._fires.get(rule.name, 0) >= self.fire_budget:
+            self.exhausted.add(rule.name)
+            return True
+        return False
+
+    def _record(self, rule, before, after):
+        self._fires[rule.name] = self._fires.get(rule.name, 0) + 1
+        self.firings.append(RuleFiring(rule.name, before, after))
+        if self.tracer is not None:
+            self.tracer.emit(
+                PLAN_RULE_FIRED,
+                query_id=self.query_id,
+                rule=rule.name,
+                before_nodes=before,
+                after_nodes=after,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("planner.rules_fired", rule=rule.name)
+
+
+# ---------------------------------------------------------------------------
+# The ReqSync pack — the paper's Insertion / Percolation / Consolidation.
+# ---------------------------------------------------------------------------
+
+
+def _filled_under(reqsync):
+    """The filled-attribute set A_i of *reqsync* (in its child's schema)."""
+    return L.placeholder_columns(reqsync.child)
+
+
+def _filled_in_parent(reqsync, parent, ctx):
+    """Translate A_i into *parent*'s output coordinates."""
+    filled = _filled_under(reqsync)
+    if isinstance(
+        parent, (L.LogicalCrossProduct, L.LogicalJoin, L.LogicalDependentJoin)
+    ) and not ctx.is_left_child(parent, reqsync):
+        offset = ctx.left_arity(parent)
+        return {i + offset for i in filled}
+    return set(filled)
+
+
+def _swap_up(grandparent, parent, reqsync):
+    """``gp -> parent -> ... reqsync ...`` becomes
+    ``gp -> reqsync -> parent -> ...`` (reqsync's old child)."""
+    parent.replace_child(reqsync, reqsync.child)
+    reqsync.child = parent
+    reqsync.children = (parent,)
+    reqsync.schema = parent.schema
+    # Hand the (now schema-consistent) reqsync to the grandparent last, so
+    # its _refresh_schema sees the post-swap schema.
+    grandparent.replace_child(parent, reqsync)
+
+
+class _ReqSyncRule(Rule):
+    """Base for percolation rules: match a ReqSync under a movable parent."""
+
+    parent_type = None
+
+    def matches(self, node, ctx):
+        if not isinstance(node, L.LogicalReqSync):
+            return False
+        parent = ctx.parent_of(node)
+        if parent is None or isinstance(parent, (_Root, L.LogicalReqSync)):
+            return False
+        if not isinstance(parent, self.parent_type):
+            return False
+        return self.admits(node, parent, ctx)
+
+    def admits(self, reqsync, parent, ctx):
+        return True
+
+    def apply(self, node, ctx):
+        parent = ctx.parent_of(node)
+        _swap_up(ctx.parent_of(parent), parent, node)
+        return True
+
+
+class InsertReqSync(Rule):
+    """Insertion: EVScan -> ReqSync over AEVScan (paper step 1).
+
+    Matching a *synchronous* virtual-table scan, it flips the scan to
+    asynchronous (the lowered AEVScan registers calls and emits
+    placeholders) and caps it with a ReqSync that waits for them.
+    """
+
+    name = "reqsync.insert"
+
+    def matches(self, node, ctx):
+        return isinstance(node, L.LogicalVTableScan) and not node.asynchronous
+
+    def apply(self, node, ctx):
+        parent = ctx.parent_of(node)
+        scan = L.LogicalVTableScan(node.instance, asynchronous=True)
+        scan.annotations.update(node.annotations)
+        stream = bool(ctx.settings.stream) if ctx.settings is not None else False
+        parent.replace_child(node, L.LogicalReqSync(scan, stream=stream))
+        return True
+
+
+class ConsolidateReqSyncs(Rule):
+    """Consolidation: merge ReqSync directly over ReqSync (paper step 3).
+
+    One ReqSync manages any number of pending calls per tuple (Section
+    4.4), so stacked synchronizers collapse; order preservation is OR'd.
+    """
+
+    name = "reqsync.consolidate"
+
+    def matches(self, node, ctx):
+        return isinstance(node, L.LogicalReqSync) and isinstance(
+            node.child, L.LogicalReqSync
+        )
+
+    def apply(self, node, ctx):
+        inner = node.child
+        node.preserve_order = node.preserve_order or inner.preserve_order
+        node.replace_child(inner, inner.child)
+        return True
+
+
+class PercolateAboveFilter(_ReqSyncRule):
+    """Percolation past a non-clashing selection."""
+
+    name = "reqsync.percolate_filter"
+    parent_type = L.LogicalFilter
+
+    def admits(self, reqsync, parent, ctx):
+        filled = _filled_in_parent(reqsync, parent, ctx)
+        return not (parent.predicate.referenced_columns() & filled)
+
+
+class HoistClashingSelection(_ReqSyncRule):
+    """Enabling rewrite: hoist a clashing selection above *its* parent.
+
+    Clash rule 1 blocks ReqSync under a selection that reads a filled
+    attribute; but the selection itself may commute upward (through
+    filters, sorts, distincts, and — with a predicate remap — past
+    binary joins), clearing the way for the next percolation step.
+    """
+
+    name = "reqsync.hoist_selection"
+    parent_type = L.LogicalFilter
+
+    def admits(self, reqsync, parent, ctx):
+        filled = _filled_in_parent(reqsync, parent, ctx)
+        return bool(parent.predicate.referenced_columns() & filled)
+
+    def apply(self, node, ctx):
+        filter_op = ctx.parent_of(node)
+        target = ctx.parent_of(filter_op)
+        if target is None or isinstance(target, (_Root, L.LogicalReqSync)):
+            return False
+        great = ctx.parent_of(target)
+        if great is None:
+            return False
+        if isinstance(
+            target, (L.LogicalFilter, L.LogicalSort, L.LogicalDistinct)
+        ):
+            predicate = filter_op.predicate
+        elif isinstance(
+            target,
+            (L.LogicalCrossProduct, L.LogicalJoin, L.LogicalDependentJoin),
+        ):
+            if ctx.is_left_child(target, filter_op):
+                predicate = filter_op.predicate
+            else:
+                offset = ctx.left_arity(target)
+                refs = filter_op.predicate.referenced_columns()
+                predicate = filter_op.predicate.remap(
+                    {i: i + offset for i in refs}
+                )
+        else:
+            return False
+        # Splice the selection out of its slot, then re-create it (with
+        # the remapped predicate) above the operator it commuted past.
+        target.replace_child(filter_op, filter_op.child)
+        great.replace_child(target, L.LogicalFilter(target, predicate))
+        return True
+
+
+class PercolateAboveProject(_ReqSyncRule):
+    """Percolation past a projection, guarded by clash rules 1 and 2."""
+
+    name = "reqsync.percolate_project"
+    parent_type = L.LogicalProject
+
+    def admits(self, reqsync, parent, ctx):
+        filled = _filled_in_parent(reqsync, parent, ctx)
+        kept = {
+            e.index for e in parent.expressions if isinstance(e, ColumnRef)
+        }
+        if not filled <= kept:
+            return False  # clash rule 2: projection drops a filled attr
+        computed = set()
+        for expr in parent.expressions:
+            if not isinstance(expr, ColumnRef):
+                computed |= expr.referenced_columns()
+        # clash rule 1: a computed output depends on a filled attribute.
+        return not (computed & filled)
+
+
+class PercolateAboveDependentJoin(_ReqSyncRule):
+    """Percolation past a dependent join (blocked when the inner side's
+    bindings read a filled attribute of the outer)."""
+
+    name = "reqsync.percolate_depjoin"
+    parent_type = L.LogicalDependentJoin
+
+    def admits(self, reqsync, parent, ctx):
+        if ctx.is_left_child(parent, reqsync):
+            filled = _filled_in_parent(reqsync, parent, ctx)
+            if set(parent.binding_columns.values()) & filled:
+                return False
+        return True
+
+
+class JoinToSelectionOverCrossProduct(_ReqSyncRule):
+    """Enabling rewrite: clashing join -> selection over cross-product
+    (the paper's Example 3).  The ReqSync can then rise through the
+    cross-product while the selection stays above."""
+
+    name = "reqsync.join_to_selection"
+    parent_type = L.LogicalJoin
+
+    def admits(self, reqsync, parent, ctx):
+        filled = _filled_in_parent(reqsync, parent, ctx)
+        return bool(parent.predicate.referenced_columns() & filled)
+
+    def apply(self, node, ctx):
+        join = ctx.parent_of(node)
+        grandparent = ctx.parent_of(join)
+        product = L.LogicalCrossProduct(join.left, join.right)
+        grandparent.replace_child(join, L.LogicalFilter(product, join.predicate))
+        return True
+
+
+class PercolateAboveJoin(_ReqSyncRule):
+    """Percolation past a non-clashing join."""
+
+    name = "reqsync.percolate_join"
+    parent_type = L.LogicalJoin
+
+    def admits(self, reqsync, parent, ctx):
+        filled = _filled_in_parent(reqsync, parent, ctx)
+        return not (parent.predicate.referenced_columns() & filled)
+
+
+class PercolateAboveCrossProduct(_ReqSyncRule):
+    """Percolation past oblivious binary operators (never clash)."""
+
+    name = "reqsync.percolate_product"
+    parent_type = (L.LogicalCrossProduct, L.LogicalUnion)
+
+
+class PullAboveSortOrdered(_ReqSyncRule):
+    """Extension: pull ReqSync above a Sort whose keys do not read a
+    filled attribute, switching to order-preserving emission so the
+    sorted order survives (``pull_above_order_sensitive=True``)."""
+
+    name = "reqsync.pull_above_sort"
+    parent_type = L.LogicalSort
+
+    def admits(self, reqsync, parent, ctx):
+        settings = ctx.settings
+        if settings is None or not getattr(
+            settings, "pull_above_order_sensitive", False
+        ):
+            return False
+        filled = _filled_in_parent(reqsync, parent, ctx)
+        keys = set()
+        for expr, _ in parent.keys:
+            keys |= expr.referenced_columns()
+        return not (keys & filled)
+
+    def apply(self, node, ctx):
+        node.preserve_order = True
+        return super().apply(node, ctx)
+
+
+def reqsync_pack(settings=None):
+    """Priority groups implementing the paper's placement algorithm.
+
+    Group order reproduces the seed rewriter: insertion first, then
+    eager consolidation (when enabled), then the percolation rules —
+    each firing restarts from the top, so adjacent ReqSyncs merge
+    before either floats to the top of the plan as a no-op.
+    Aggregate/Distinct (clash rule 3) and Limit (counting) have no
+    rule: ReqSync simply never rises past them.
+    """
+    consolidate = settings is None or getattr(settings, "consolidate", True)
+    groups = [[InsertReqSync()]]
+    if consolidate:
+        groups.append([ConsolidateReqSyncs()])
+    groups.append(
+        [
+            PercolateAboveFilter(),
+            HoistClashingSelection(),
+            PercolateAboveProject(),
+            PercolateAboveDependentJoin(),
+            JoinToSelectionOverCrossProduct(),
+            PercolateAboveJoin(),
+            PercolateAboveCrossProduct(),
+            PullAboveSortOrdered(),
+        ]
+    )
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Opt-in relational packs (PlannerOptions(logical_rules=...)).
+# ---------------------------------------------------------------------------
+
+
+def _split_conjuncts(predicate):
+    if isinstance(predicate, Conjunction):
+        terms = []
+        for term in predicate.terms:
+            terms.extend(_split_conjuncts(term))
+        return terms
+    return [predicate]
+
+
+class PushFilterIntoProduct(Rule):
+    """Predicate pushdown: route conjuncts of a filter over a binary
+    join/product to the side they reference; one-sided right conjuncts
+    are remapped into the right child's coordinates."""
+
+    name = "pushdown.filter_into_product"
+
+    def matches(self, node, ctx):
+        if not isinstance(node, L.LogicalFilter):
+            return False
+        if not isinstance(
+            node.child, (L.LogicalCrossProduct, L.LogicalJoin)
+        ):
+            return False
+        left_width = len(node.child.left.schema)
+        for term in _split_conjuncts(node.predicate):
+            refs = term.referenced_columns()
+            if refs and (
+                max(refs) < left_width or min(refs) >= left_width
+            ):
+                return True
+        return False
+
+    def apply(self, node, ctx):
+        parent = ctx.parent_of(node)
+        binary = node.child
+        left_width = len(binary.left.schema)
+        left_terms, right_terms, kept = [], [], []
+        for term in _split_conjuncts(node.predicate):
+            refs = term.referenced_columns()
+            if refs and max(refs) < left_width:
+                left_terms.append(term)
+            elif refs and min(refs) >= left_width:
+                right_terms.append(
+                    term.remap({i: i - left_width for i in refs})
+                )
+            else:
+                kept.append(term)
+        if left_terms:
+            binary.replace_child(
+                binary.left,
+                L.LogicalFilter(binary.left, make_conjunction(left_terms)),
+            )
+        if right_terms:
+            binary.replace_child(
+                binary.right,
+                L.LogicalFilter(binary.right, make_conjunction(right_terms)),
+            )
+        if kept:
+            node.predicate = make_conjunction(kept)
+            node._refresh_schema()
+        else:
+            parent.replace_child(node, binary)
+        return True
+
+
+class PushFilterThroughReorderable(Rule):
+    """Predicate pushdown through order/duplicate-oblivious unaries
+    (Sort, Distinct) — a selection commutes with both.  Limit is *not*
+    reorderable: filtering before the cutoff changes the result."""
+
+    name = "pushdown.filter_through_unary"
+
+    def matches(self, node, ctx):
+        return isinstance(node, L.LogicalFilter) and isinstance(
+            node.child, (L.LogicalSort, L.LogicalDistinct)
+        )
+
+    def apply(self, node, ctx):
+        parent = ctx.parent_of(node)
+        unary = node.child
+        node.replace_child(unary, unary.child)
+        unary.replace_child(unary.child, node)
+        parent.replace_child(node, unary)
+        return True
+
+
+class ComposeProjections(Rule):
+    """Projection pruning: collapse a pass-through projection over
+    another projection by substituting the inner expressions."""
+
+    name = "prune.compose_projections"
+    direction = BOTTOM_UP
+
+    def matches(self, node, ctx):
+        return (
+            isinstance(node, L.LogicalProject)
+            and isinstance(node.child, L.LogicalProject)
+            and all(isinstance(e, ColumnRef) for e in node.expressions)
+        )
+
+    def apply(self, node, ctx):
+        parent = ctx.parent_of(node)
+        inner = node.child
+        composed = [inner.expressions[e.index] for e in node.expressions]
+        parent.replace_child(
+            node, L.LogicalProject(inner.child, composed, node.schema)
+        )
+        return True
+
+
+class RemoveIdentityProject(Rule):
+    """Projection pruning: drop a projection that passes every input
+    column through unchanged (same order, same names)."""
+
+    name = "prune.identity_project"
+    direction = BOTTOM_UP
+
+    def matches(self, node, ctx):
+        if not isinstance(node, L.LogicalProject):
+            return False
+        child_schema = node.child.schema
+        if len(node.expressions) != len(child_schema):
+            return False
+        for i, expr in enumerate(node.expressions):
+            if not (isinstance(expr, ColumnRef) and expr.index == i):
+                return False
+        return list(node.schema.names()) == list(child_schema.names())
+
+    def apply(self, node, ctx):
+        ctx.parent_of(node).replace_child(node, node.child)
+        return True
+
+
+class ReorderProductBySize(Rule):
+    """Cost-based reordering: put the smaller stored table on the outer
+    (left) side of a cross product, with a compensating projection that
+    restores the original column order."""
+
+    name = "reorder.product_by_size"
+
+    def matches(self, node, ctx):
+        if not isinstance(node, L.LogicalCrossProduct):
+            return False
+        if node.annotations.get("reordered"):
+            return False
+        left, right = node.left, node.right
+        if not (
+            isinstance(left, L.LogicalScan) and isinstance(right, L.LogicalScan)
+        ):
+            return False
+        return right.table.row_count() < left.table.row_count()
+
+    def apply(self, node, ctx):
+        parent = ctx.parent_of(node)
+        left_width = len(node.left.schema)
+        right_width = len(node.right.schema)
+        swapped = L.LogicalCrossProduct(node.right, node.left)
+        swapped.annotations["reordered"] = True
+        restore = [
+            ColumnRef(right_width + i) for i in range(left_width)
+        ] + [ColumnRef(i) for i in range(right_width)]
+        parent.replace_child(
+            node, L.LogicalProject(swapped, restore, node.schema)
+        )
+        return True
+
+
+#: Opt-in packs, keyed for ``PlannerOptions(logical_rules=...)``.
+PUSHDOWN_PACK = (PushFilterThroughReorderable, PushFilterIntoProduct)
+PRUNE_PACK = (ComposeProjections, RemoveIdentityProject)
+REORDER_PACK = (ReorderProductBySize,)
+
+PACKS = {
+    "pushdown": PUSHDOWN_PACK,
+    "prune": PRUNE_PACK,
+    "reorder": REORDER_PACK,
+}
+
+
+def resolve_packs(logical_rules):
+    """Expand ``PlannerOptions.logical_rules`` into engine groups.
+
+    Accepts pack names (``"pushdown"``), Rule classes, or Rule
+    instances, in any mix; returns a list with one group holding all
+    resolved rules (they are mutually independent; group granularity
+    only matters for restart priority).
+    """
+    group = []
+    for entry in logical_rules or ():
+        if isinstance(entry, str):
+            try:
+                pack = PACKS[entry]
+            except KeyError:
+                raise ValueError(
+                    "unknown rule pack {!r}; options: {}".format(
+                        entry, ", ".join(sorted(PACKS))
+                    )
+                )
+            group.extend(rule() for rule in pack)
+        elif isinstance(entry, Rule):
+            group.append(entry)
+        elif isinstance(entry, type) and issubclass(entry, Rule):
+            group.append(entry())
+        else:
+            raise TypeError(
+                "logical_rules entries must be pack names, Rule classes, "
+                "or Rule instances (got {!r})".format(entry)
+            )
+    return [group] if group else []

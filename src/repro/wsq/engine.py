@@ -2,10 +2,12 @@
 
 from repro.asynciter.context import AsyncContext
 from repro.asynciter.pump import RequestPump, default_pump
-from repro.asynciter.rewrite import RewriteSettings, apply_asynchronous_iteration
-from repro.exec.operator import execute_batches, set_batch_size
+from repro.asynciter.rewrite import RewriteSettings, rewrite_logical
+from repro.exec.operator import execute_batches
 from repro.obs import Observability
 from repro.obs.trace import BEGIN, END, QUERY_SPAN, Tracer
+from repro.plan import logical as logical_ir
+from repro.plan.physical import ExecOptions, lower
 from repro.plan.planner import Planner, PlannerOptions
 from repro.relational.batch import default_batch_size
 from repro.sql import ast
@@ -120,6 +122,8 @@ class WsqEngine:
         #: ``1`` degenerates to the exact row-at-a-time schedule (also
         #: reachable process-wide via ``REPRO_BATCH_SIZE=1``).
         if batch_size is None:
+            batch_size = self.rewrite_settings.batch_size
+        if batch_size is None:
             batch_size = self.planner_options.batch_size
         self.batch_size = (
             batch_size if batch_size is not None else default_batch_size()
@@ -202,6 +206,55 @@ class WsqEngine:
 
     # -- planning -----------------------------------------------------------------
 
+    def exec_options(self):
+        """The consolidated :class:`~repro.plan.physical.ExecOptions`.
+
+        One resolution point for the historical ``on_error`` /
+        ``batch_size`` / ``wait_timeout`` knob triplet across
+        ``PlannerOptions``, ``RewriteSettings``, and the engine — the
+        sync and async paths lower with the same struct.
+        """
+        return ExecOptions.from_knobs(
+            planner_options=self.planner_options,
+            rewrite_settings=self.rewrite_settings,
+            batch_size=self.batch_size,
+        )
+
+    def _pipeline(self, query, mode, tracer, query_id=None):
+        """The three-layer pipeline: build -> rules -> lower.
+
+        Returns ``(plan, logical, firings, mode, query_id)`` where
+        *logical* is the optimized logical tree the physical *plan* was
+        lowered from and *firings* lists every optimizer-rule
+        application (opt-in packs + ReqSync placement).
+        """
+        metrics = self.pump.metrics
+        logical = self._planner.plan_logical(query)
+        logical, firings = self._planner.optimize(
+            logical, tracer=tracer, metrics=metrics, query_id=query_id
+        )
+        mode = self._resolve_mode(logical, mode)
+        context = None
+        if mode == ASYNC:
+            if query_id is None:
+                query_id = self._next_query_id(tracer)
+            context = AsyncContext(
+                self.pump,
+                dedup=self.dedup_calls,
+                tracer=tracer,
+                query_id=query_id,
+            )
+            logical, placement = rewrite_logical(
+                logical,
+                self.rewrite_settings,
+                tracer=tracer,
+                metrics=metrics,
+                query_id=query_id,
+            )
+            firings = firings + placement
+        plan = lower(logical, self.exec_options(), context)
+        return plan, logical, firings, mode, query_id
+
     def plan(self, sql, mode=ASYNC):
         """Build (and for async mode, rewrite) the plan for *sql*.
 
@@ -211,22 +264,11 @@ class WsqEngine:
         ``self.cost_model``): local-only queries skip the rewrite.
         """
         query = parse_select(sql)
-        plan = self._planner.plan(query)
-        mode = self._resolve_mode(plan, mode)
-        if mode == SYNC:
-            return set_batch_size(plan, self.batch_size)
-        tracer = self.tracer
-        context = AsyncContext(
-            self.pump,
-            dedup=self.dedup_calls,
-            tracer=tracer,
-            query_id=self._next_query_id(tracer),
-        )
-        plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
-        return set_batch_size(plan, self.batch_size)
+        plan, _, _, _, _ = self._pipeline(query, mode, self.tracer)
+        return plan
 
-    def _resolve_mode(self, sync_plan, mode):
-        """Resolve ``auto`` against the (still-synchronous) plan.
+    def _resolve_mode(self, logical, mode):
+        """Resolve ``auto`` against the (still-synchronous) logical plan.
 
         Local-only queries stay sequential — the rewrite buys nothing and
         the ReqSync machinery is pure overhead.  Plans with external scans
@@ -239,9 +281,10 @@ class WsqEngine:
             return mode
         if mode != AUTO:
             raise PlanError("unknown execution mode {!r}".format(mode))
-        if not _has_external_scan(sync_plan):
+        if not logical_ir.contains_external_scan(logical):
             return SYNC
         if self.cost_model is not None:
+            sync_plan = lower(logical, self.exec_options())
             sync_estimate = self.cost_model.estimate(sync_plan)
             sync_seconds = self.cost_model.seconds(sync_plan)
             # Model the consolidated rewrite without building it: the same
@@ -255,26 +298,73 @@ class WsqEngine:
             return ASYNC if async_seconds < sync_seconds else SYNC
         return ASYNC
 
-    def explain(self, sql, mode=ASYNC):
-        """The plan tree as text (Figure-2/3 style)."""
-        return self.plan(sql, mode).explain()
+    EXPLAIN_FORMS = ("logical", "optimized", "physical", "rules", "costs")
+
+    def explain(self, sql, mode=ASYNC, form="physical"):
+        """The plan as text, at any layer of the planning stack.
+
+        ``form``:
+
+        - ``"physical"`` (default): the lowered operator tree — the
+          historical Figure-2/3 style output.
+        - ``"logical"``: the algebra tree straight out of the planner,
+          before any rule runs.
+        - ``"optimized"``: the logical tree after the configured rule
+          packs and (for async mode) ReqSync placement.
+        - ``"rules"``: one line per fired optimizer rule with
+          before/after node counts.
+        - ``"costs"``: the physical form with a per-operator cost column
+          (uses ``self.cost_model`` or a default
+          :class:`~repro.plan.cost.CostModel`).
+        """
+        query = parse_select(sql)
+        if form == "logical":
+            return logical_ir.render(self._planner.plan_logical(query))
+        if form not in self.EXPLAIN_FORMS:
+            raise PlanError(
+                "unknown explain form {!r}; expected one of {}".format(
+                    form, "/".join(self.EXPLAIN_FORMS)
+                )
+            )
+        plan, logical, firings, mode, _ = self._pipeline(
+            query, mode, self.tracer
+        )
+        if form == "optimized":
+            return logical_ir.render(logical)
+        if form == "rules":
+            if not firings:
+                return "(no rules fired)"
+            width = max(len(f.rule) for f in firings)
+            return "\n".join(
+                "{:<{width}}  nodes {} -> {}".format(
+                    f.rule, f.before_nodes, f.after_nodes, width=width
+                )
+                for f in firings
+            )
+        if form == "costs":
+            model = self.cost_model
+            if model is None:
+                from repro.plan.cost import CostModel
+
+                model = CostModel(latency_mean=self._latency_mean())
+            return model.annotated_explain(plan)
+        return plan.explain()
+
+    def _latency_mean(self):
+        """Mean per-request latency in seconds (for the default cost model)."""
+        mean = getattr(self.latency, "mean", None)
+        if callable(mean):
+            return mean()
+        if isinstance(mean, (int, float)):
+            return float(mean)
+        return 0.05
 
     # -- execution ---------------------------------------------------------------------
 
     def _prepare(self, query, mode, tracer):
         """Plan + rewrite + instrument one SELECT; returns (plan, mode, qid)."""
-        plan = self._planner.plan(query)
-        mode = self._resolve_mode(plan, mode)
         query_id = self._next_query_id(tracer)
-        if mode == ASYNC:
-            context = AsyncContext(
-                self.pump,
-                dedup=self.dedup_calls,
-                tracer=tracer,
-                query_id=query_id,
-            )
-            plan = apply_asynchronous_iteration(plan, context, self.rewrite_settings)
-        set_batch_size(plan, self.batch_size)
+        plan, _, _, mode, _ = self._pipeline(query, mode, tracer, query_id)
         if tracer is not None:
             self._instrument_plan(plan, tracer, query_id)
         return plan, mode, query_id
@@ -504,8 +594,3 @@ def _sum_plan_attr(plan, attribute):
     return total
 
 
-def _has_external_scan(plan):
-    """Does the (synchronous) plan contain any external virtual-table scan?"""
-    if isinstance(plan, EVScan):
-        return True
-    return any(_has_external_scan(child) for child in plan.children)

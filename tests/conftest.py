@@ -42,3 +42,19 @@ def engine(web, paper_db):
 def small_engine(small_web, paper_db):
     """WSQ engine over the small web, zero latency."""
     return WsqEngine(database=paper_db, web=small_web)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden plan snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_goldens(request):
+    """True when the run should rewrite golden snapshots in place."""
+    return request.config.getoption("--update-goldens")

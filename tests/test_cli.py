@@ -88,6 +88,45 @@ class TestDotCommands:
         _dot_command(engine, ".explain Select bogus", "async")
         assert "error" in capsys.readouterr().err
 
+    def test_explain_form_rules(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(
+            engine,
+            ".explain rules Select Name, Count From States, WebCount "
+            "Where Name = T1",
+            "async",
+        )
+        out = capsys.readouterr().out
+        assert "reqsync.insert" in out
+        assert "nodes" in out
+
+    def test_explain_form_logical(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(
+            engine,
+            ".explain logical Select Name, Count From States, WebCount "
+            "Where Name = T1",
+            "async",
+        )
+        out = capsys.readouterr().out
+        assert "VTableScan" in out
+        assert "ReqSync" not in out  # pre-rules form
+
+    def test_explain_form_costs(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(
+            engine,
+            ".explain costs Select Name, Count From States, WebCount "
+            "Where Name = T1",
+            "async",
+        )
+        assert "rows~" in capsys.readouterr().out
+
+    def test_explain_form_alone_prints_usage(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".explain rules", "async")
+        assert "usage:" in capsys.readouterr().out
+
     def test_stats(self, capsys):
         engine = build_engine(_Args())
         _dot_command(engine, ".stats", "async")

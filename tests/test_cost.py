@@ -146,6 +146,22 @@ class TestPredictionsAgainstMeasurement:
         assert "waves~1.0" in text
         assert "external-calls~37" in text
 
+    def test_annotated_explain_is_plan_explain_plus_cost_column(self, model, engine):
+        """The cost view is the unified Operator.explain renderer with the
+        model's per-operator annotation — same tree, bracketed extras."""
+        plan = engine.plan(
+            "Select Name, Count From Sigs, WebCount Where Name = T1", mode="async"
+        )
+        plain = plan.explain().splitlines()
+        annotated = model.annotated_explain(plan).splitlines()
+        assert len(annotated) == len(plain)
+        for bare, costed in zip(plain, annotated):
+            assert costed.startswith(bare)
+            assert "[rows~" in costed
+        # Scans carry no wave column; ReqSync lines do.
+        reqsync_lines = [l for l in annotated if "ReqSync" in l]
+        assert reqsync_lines and all("waves~" in l for l in reqsync_lines)
+
 
 class TestFigure7Choice:
     def test_high_latency_prefers_single_reqsync(self):

@@ -1,0 +1,149 @@
+"""ExecOptions consolidation: the knob-drift regression tests.
+
+Historically ``on_error``/``batch_size``/``wait_timeout`` were threaded
+three separate ways (engine kwargs, ``PlannerOptions``,
+``RewriteSettings``) and could drift: a policy set on one entry point
+silently failed to reach plans built through another.  The lowering
+layer now resolves all of them into one
+:class:`repro.plan.physical.ExecOptions`; these tests pin the precedence
+order and assert that synchronous and asynchronous plans built from
+*either* entry point carry the same effective policy.
+"""
+
+import pytest
+
+from repro.asynciter.reqsync import ReqSync
+from repro.asynciter.rewrite import RewriteSettings
+from repro.plan.physical import ExecOptions
+from repro.plan.planner import PlannerOptions
+from repro.util.errors import PlanError
+from repro.vtables.evscan import EVScan
+from repro.wsq import WsqEngine
+
+SQL = "Select Name, Count From States, WebCount Where Name = T1"
+
+
+def _walk(op):
+    yield op
+    inner = getattr(op, "inner", None)
+    if inner is not None:
+        yield from _walk(inner)
+    for child in op.children:
+        yield from _walk(child)
+
+
+def _only(plan, cls):
+    found = [op for op in _walk(plan) if isinstance(op, cls)]
+    assert found, "no {} in plan".format(cls.__name__)
+    return found
+
+
+class TestPrecedence:
+    def test_defaults(self):
+        opts = ExecOptions.from_knobs()
+        assert opts.on_error == "raise"
+        assert opts.batch_size is None
+        assert opts.wait_timeout is None
+        assert opts.stream is False
+
+    def test_planner_options_apply(self):
+        opts = ExecOptions.from_knobs(
+            planner_options=PlannerOptions(on_error="drop", batch_size=64)
+        )
+        assert (opts.on_error, opts.batch_size) == ("drop", 64)
+
+    def test_rewrite_settings_override_planner_options(self):
+        opts = ExecOptions.from_knobs(
+            planner_options=PlannerOptions(on_error="drop", batch_size=64),
+            rewrite_settings=RewriteSettings(
+                on_error="null", batch_size=8, wait_timeout=2.0
+            ),
+        )
+        assert (opts.on_error, opts.batch_size, opts.wait_timeout) == (
+            "null",
+            8,
+            2.0,
+        )
+
+    def test_unset_rewrite_settings_do_not_mask_planner_options(self):
+        """The historical drift: RewriteSettings(on_error=None) must defer."""
+        opts = ExecOptions.from_knobs(
+            planner_options=PlannerOptions(on_error="drop", batch_size=64),
+            rewrite_settings=RewriteSettings(),
+        )
+        assert (opts.on_error, opts.batch_size) == ("drop", 64)
+
+    def test_explicit_arguments_win(self):
+        opts = ExecOptions.from_knobs(
+            planner_options=PlannerOptions(on_error="drop"),
+            rewrite_settings=RewriteSettings(on_error="null"),
+            on_error="raise",
+            batch_size=3,
+        )
+        assert (opts.on_error, opts.batch_size) == ("raise", 3)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(PlanError):
+            ExecOptions(on_error="explode")
+
+    def test_back_compat_surfaces_agree(self):
+        """PlannerOptions.exec_options() == RewriteSettings.exec_options()
+        when configured identically."""
+        a = PlannerOptions(on_error="null", batch_size=16).exec_options()
+        b = RewriteSettings(on_error="null", batch_size=16).exec_options()
+        assert (a.on_error, a.batch_size) == (b.on_error, b.batch_size)
+
+
+class TestEnginePathsAgree:
+    """Sync and async plans resolve the same effective knobs from either
+    configuration entry point."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"on_error": "null"},
+            {"planner_options": PlannerOptions(on_error="null")},
+            {"rewrite_settings": RewriteSettings(on_error="null")},
+        ],
+        ids=["engine-kwarg", "planner-options", "rewrite-settings"],
+    )
+    def test_on_error_reaches_both_modes(self, web, paper_db, kwargs):
+        engine = WsqEngine(database=paper_db, web=web, **kwargs)
+        sync_plan = engine.plan(SQL, mode="sync")
+        async_plan = engine.plan(SQL, mode="async")
+        sync_policies = {s.on_error for s in _only(sync_plan, EVScan)}
+        async_policies = {r.on_error for r in _only(async_plan, ReqSync)}
+        assert sync_policies == {"null"}
+        assert async_policies == {"null"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 7},
+            {"planner_options": PlannerOptions(batch_size=7)},
+            {"rewrite_settings": RewriteSettings(batch_size=7)},
+        ],
+        ids=["engine-kwarg", "planner-options", "rewrite-settings"],
+    )
+    def test_batch_size_stamped_in_both_modes(self, web, paper_db, kwargs):
+        engine = WsqEngine(database=paper_db, web=web, **kwargs)
+        for mode in ("sync", "async"):
+            plan = engine.plan(SQL, mode=mode)
+            sizes = {op.batch_size for op in _walk(plan)}
+            assert sizes == {7}, "mode={} resolved {}".format(mode, sizes)
+
+    def test_wait_timeout_reaches_reqsync(self, web, paper_db):
+        engine = WsqEngine(
+            database=paper_db,
+            web=web,
+            rewrite_settings=RewriteSettings(wait_timeout=0.75),
+        )
+        plan = engine.plan(SQL, mode="async")
+        assert {r.wait_timeout for r in _only(plan, ReqSync)} == {0.75}
+
+    def test_results_agree_under_drop_policy(self, web, paper_db):
+        """Same rows from sync and async when both degrade with 'drop'."""
+        engine = WsqEngine(database=paper_db, web=web, on_error="drop")
+        sync_rows = engine.run(SQL, mode="sync").rows
+        async_rows = engine.run(SQL, mode="async").rows
+        assert sorted(sync_rows) == sorted(async_rows)
