@@ -31,12 +31,14 @@ check.
 """
 
 import asyncio
+import concurrent.futures
 import threading
 import time
 
 from repro.asynciter.resilience import CircuitBreaker
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
+    CACHE_COALESCE,
     CALL_BREAKER_REJECT,
     CALL_CANCEL,
     CALL_COMPLETE,
@@ -75,6 +77,7 @@ _DEST_COUNTER_KEYS = (
     "retries",
     "timeouts",
     "breaker_open_rejections",
+    "coalesced",
 )
 
 #: Histogram kinds the pump observes per settled call.
@@ -185,8 +188,43 @@ class _CallTiming:
         self.attempts = 0
 
 
+class _Flight:
+    """One *physical* in-flight call shared by several logical registrations.
+
+    Single-flight coalescing (DESIGN.md §11): when two registrations carry
+    the same call key while the first is still in flight — typically the
+    same ``SearchExp`` issued by *different* queries, which per-query
+    :class:`~repro.asynciter.context.AsyncContext` dedup cannot see — the
+    pump runs one network call and fans its outcome out to every member.
+
+    Every member (the anchor that launched the coroutine included) gets
+    its own call id, its own :class:`_CallTiming`, and its own settlement
+    future, so per-call accounting (registered/completed/cancelled,
+    latency histograms, lifecycle trace) is indistinguishable from the
+    uncoalesced case *except* that only the anchor's call id ever appears
+    in a ``call.issue`` event.  Cancelling a member merely detaches it;
+    the physical task is cancelled only when the last live member leaves.
+    """
+
+    __slots__ = ("key", "destination", "anchor_id", "members", "task_future", "settled")
+
+    def __init__(self, key, destination, anchor_id):
+        self.key = key
+        self.destination = destination
+        self.anchor_id = anchor_id
+        self.members = {}  # call_id -> on_complete callback
+        self.task_future = None  # the anchor coroutine's future
+        self.settled = False
+
+
 class RequestPump:
-    """Issues external calls concurrently on a background event loop."""
+    """Issues external calls concurrently on a background event loop.
+
+    ``single_flight=True`` enables cross-registration coalescing of
+    identical in-flight calls (see :class:`_Flight`).  It is off by
+    default so the shared process-wide pump keeps the seed's
+    call-per-registration behaviour; engines opt their own pumps in.
+    """
 
     def __init__(
         self,
@@ -196,6 +234,7 @@ class RequestPump:
         tracer=None,
         metrics=None,
         clock=None,
+        single_flight=False,
     ):
         self.limits = limits or PumpLimits()
         self.name = name
@@ -216,6 +255,9 @@ class RequestPump:
         self._next_call_id = 0
         self._futures = {}  # call_id -> concurrent.futures.Future
         self._timings = {}  # call_id -> _CallTiming
+        self.single_flight = bool(single_flight)
+        self._flights = {}  # call key -> live _Flight
+        self._members = {}  # call_id -> its _Flight
         self._global_sem = None
         self._dest_sems = {}
         self._breakers = {}  # destination -> CircuitBreaker
@@ -285,6 +327,8 @@ class RequestPump:
         with self._futures_lock:
             self._futures = {}
             self._timings = {}
+            self._flights = {}
+            self._members = {}
 
     # -- registration ---------------------------------------------------------------
 
@@ -302,33 +346,8 @@ class RequestPump:
             call_id = self._next_call_id
             self._next_call_id += 1
             loop = self._loop
-        destination = call.destination
         registered_at = self.clock.now()
-        self.stats.bump(destination, "registered")
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.emit(
-                CALL_REGISTER,
-                call_id=call_id,
-                query_id=query_id,
-                destination=destination,
-                ts=registered_at,
-                mode="async",
-                key=str(call.key) if call.key is not None else None,
-            )
-        # Store the future *under the lock before the loop thread can
-        # settle the call*: the settlement callback (attached below)
-        # performs the pop, so a fast completion can no longer race the
-        # assignment and leak the entry.
-        with self._futures_lock:
-            self._timings[call_id] = _CallTiming(registered_at, query_id)
-            future = asyncio.run_coroutine_threadsafe(
-                self._run_call(call_id, call, on_complete), loop
-            )
-            self._futures[call_id] = future
-        future.add_done_callback(
-            lambda fut: self._settle(call_id, destination, fut)
-        )
+        self._launch(call, call_id, on_complete, query_id, loop, registered_at)
         return call_id
 
     def register_batch(self, calls, on_complete, query_id=None):
@@ -354,36 +373,186 @@ class RequestPump:
             self._next_call_id += len(calls)
             loop = self._loop
         registered_at = self.clock.now()
-        tracer = self.tracer
         call_ids = []
         for offset, call in enumerate(calls):
             call_id = first_id + offset
-            destination = call.destination
-            self.stats.bump(destination, "registered")
+            self._launch(
+                call,
+                call_id,
+                on_complete,
+                query_id,
+                loop,
+                registered_at,
+                batch=len(calls),
+            )
+            call_ids.append(call_id)
+        return call_ids
+
+    def _launch(
+        self, call, call_id, on_complete, query_id, loop, registered_at, batch=None
+    ):
+        """Common registration tail: stats, trace, and task/flight wiring.
+
+        With single-flight off (or a keyless call) this is exactly the
+        historical path: one coroutine per registration, the coroutine's
+        future doubling as the settlement future.  With single-flight on,
+        registration routes through :meth:`_register_flight`, which
+        either launches a new :class:`_Flight` or joins an existing one.
+        """
+        destination = call.destination
+        self.stats.bump(destination, "registered")
+        tracer = self.tracer
+        if tracer is not None:
+            args = {
+                "mode": "async",
+                "key": str(call.key) if call.key is not None else None,
+            }
+            if batch is not None:
+                args["batch"] = batch
+            tracer.emit(
+                CALL_REGISTER,
+                call_id=call_id,
+                query_id=query_id,
+                destination=destination,
+                ts=registered_at,
+                **args,
+            )
+        if self.single_flight and call.key is not None:
+            self._register_flight(
+                call, call_id, on_complete, query_id, loop, registered_at
+            )
+            return
+        # Store the future *under the lock before the loop thread can
+        # settle the call*: the settlement callback (attached below)
+        # performs the pop, so a fast completion can no longer race the
+        # assignment and leak the entry.
+        with self._futures_lock:
+            self._timings[call_id] = _CallTiming(registered_at, query_id)
+            future = asyncio.run_coroutine_threadsafe(
+                self._run_call(call_id, call, on_complete), loop
+            )
+            self._futures[call_id] = future
+        future.add_done_callback(
+            lambda fut: self._settle(call_id, destination, fut)
+        )
+
+    # -- single-flight coalescing -----------------------------------------------
+
+    def _register_flight(
+        self, call, call_id, on_complete, query_id, loop, registered_at
+    ):
+        """Join the live flight for ``call.key``, or anchor a new one."""
+        destination = call.destination
+        key = call.key
+        with self._futures_lock:
+            self._timings[call_id] = _CallTiming(registered_at, query_id)
+            member_future = concurrent.futures.Future()
+            self._futures[call_id] = member_future
+            flight = self._flights.get(key)
+            joined = flight is not None and not flight.settled
+            if joined:
+                flight.members[call_id] = on_complete
+                self._members[call_id] = flight
+                anchor_id = flight.anchor_id
+            else:
+                flight = _Flight(key, destination, call_id)
+                flight.members[call_id] = on_complete
+                self._flights[key] = flight
+                self._members[call_id] = flight
+                flight.task_future = asyncio.run_coroutine_threadsafe(
+                    self._run_call(call_id, call, self._flight_deliver(flight)),
+                    loop,
+                )
+        member_future.add_done_callback(
+            lambda fut, cid=call_id, dest=destination: self._settle(cid, dest, fut)
+        )
+        if joined:
+            self.stats.bump(destination, "coalesced")
+            self.metrics.counter("cache.coalesce").inc()
+            self.metrics.counter(
+                "cache.coalesce", destination=destination
+            ).inc()
+            tracer = self.tracer
             if tracer is not None:
                 tracer.emit(
-                    CALL_REGISTER,
+                    CACHE_COALESCE,
                     call_id=call_id,
                     query_id=query_id,
                     destination=destination,
                     ts=registered_at,
-                    mode="async",
-                    batch=len(calls),
-                    key=str(call.key) if call.key is not None else None,
+                    anchor=anchor_id,
+                    key=str(key),
                 )
-            with self._futures_lock:
-                self._timings[call_id] = _CallTiming(registered_at, query_id)
-                future = asyncio.run_coroutine_threadsafe(
-                    self._run_call(call_id, call, on_complete), loop
-                )
-                self._futures[call_id] = future
-            future.add_done_callback(
-                lambda fut, cid=call_id, dest=destination: self._settle(
-                    cid, dest, fut
-                )
+        else:
+            flight.task_future.add_done_callback(
+                lambda fut, fl=flight: self._settle_flight(fl, fut)
             )
-            call_ids.append(call_id)
-        return call_ids
+
+    def _flight_deliver(self, flight):
+        """The ``on_complete`` the anchor coroutine fans out through."""
+
+        def deliver(_anchor_id, rows, error):
+            members, futures = self._drain_flight(flight)
+            outcome = "error" if error is not None else "ok"
+            for member_id, callback in members:
+                future = futures.get(member_id)
+                try:
+                    callback(member_id, rows, error)
+                except Exception:  # noqa: BLE001 - isolate member callbacks
+                    if future is not None and not future.done():
+                        future.set_result("error")
+                else:
+                    if future is not None and not future.done():
+                        future.set_result(outcome)
+
+        return deliver
+
+    def _drain_flight(self, flight):
+        """Atomically retire *flight*; returns its members + their futures."""
+        with self._futures_lock:
+            if flight.settled:
+                return [], {}
+            flight.settled = True
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+            members = list(flight.members.items())
+            flight.members.clear()
+            futures = {}
+            for member_id, _callback in members:
+                self._members.pop(member_id, None)
+                futures[member_id] = self._futures.get(member_id)
+        return members, futures
+
+    def _settle_flight(self, flight, task_future):
+        """Backstop when the anchor task ends without delivering.
+
+        The normal path (:meth:`_flight_deliver`) runs *inside* the task
+        and retires the flight before the task future resolves — this
+        callback then finds it settled and does nothing.  It only acts
+        when the task was torn down without calling ``on_complete``:
+        cancellation (all members detached, or pump shutdown) or an
+        unexpected exception escaping :meth:`_run_call`.
+        """
+        members, futures = self._drain_flight(flight)
+        if not members:
+            return
+        if task_future.cancelled():
+            for member_id, _callback in members:
+                future = futures.get(member_id)
+                if future is not None:
+                    future.cancel()
+            return
+        error = task_future.exception()
+        for member_id, callback in members:
+            future = futures.get(member_id)
+            try:
+                if error is not None:
+                    callback(member_id, None, error)
+            except Exception:  # noqa: BLE001 - isolate member callbacks
+                pass
+            finally:
+                if future is not None and not future.done():
+                    future.set_result("error" if error is not None else "ok")
 
     def quiesce(self, timeout=1.0):
         """Wait (real time) until every registered call has settled.
@@ -411,11 +580,29 @@ class RequestPump:
         as completed/failed — the ``snapshot()["queued"]`` invariant
         holds under cancellation, double-cancellation, and
         cancel-vs-complete races.
+
+        A single-flight member is merely *detached*: its own settlement
+        future is cancelled (it counts as cancelled, emits
+        ``call.cancel``), but the shared network task keeps running for
+        the surviving members.  Only when the last live member leaves is
+        the physical task cancelled too — so a query abandoning a
+        coalesced call can never fail another query's identical call.
         """
+        task_future = None
         with self._futures_lock:
+            flight = self._members.pop(call_id, None)
+            if flight is not None and not flight.settled:
+                flight.members.pop(call_id, None)
+                if not flight.members:
+                    flight.settled = True
+                    if self._flights.get(flight.key) is flight:
+                        del self._flights[flight.key]
+                    task_future = flight.task_future
             future = self._futures.get(call_id)
         if future is not None:
             future.cancel()
+        if task_future is not None:
+            task_future.cancel()
 
     def _settle(self, call_id, destination, future):
         """Final accounting for one call; runs exactly once per future."""

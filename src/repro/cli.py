@@ -24,7 +24,7 @@ from repro.datasets import load_all
 from repro.obs import Observability, render_waterfall, write_chrome_trace
 from repro.storage import Database
 from repro.util.errors import ReproError
-from repro.web.cache import ResultCache
+from repro.web.cache import make_cache
 from repro.web.faults import FaultModel
 from repro.web.latency import UniformLatency
 from repro.wsq import WsqEngine, format_table
@@ -55,7 +55,7 @@ def build_engine(args):
     if args.latency > 0:
         seconds = args.latency / 1000.0
         latency = UniformLatency(seconds * 0.5, seconds * 1.5)
-    cache = ResultCache() if args.cache else None
+    cache = _cache_config(args)
     faults, resilience = _chaos_config(args)
     on_error = getattr(args, "on_error", None)
     obs = None
@@ -74,6 +74,30 @@ def build_engine(args):
         on_error=on_error,
         obs=obs,
         batch_size=getattr(args, "batch_size", None),
+    )
+
+
+def _cache_config(args):
+    """Resolve the cache flags into a cache instance (or the off sentinel).
+
+    ``--no-cache`` returns ``False`` — the explicit "even if
+    ``REPRO_CACHE`` is set, run this engine uncached" sentinel the
+    engine recognises.  ``--cache`` is the historical boolean (a plain
+    in-memory cache); ``--cache-tier`` selects the stack explicitly and
+    ``--cache-ttl`` / ``--cache-dir`` parameterize it.
+    """
+    if getattr(args, "no_cache", False):
+        return False
+    tier = getattr(args, "cache_tier", None)
+    ttl = getattr(args, "cache_ttl", None)
+    if tier is None:
+        if not getattr(args, "cache", False) and ttl is None:
+            return None  # defer to REPRO_CACHE (engine-side env fallback)
+        tier = "memory"
+    return make_cache(
+        tier=tier,
+        ttl=ttl,
+        disk_path=getattr(args, "cache_dir", None),
     )
 
 
@@ -118,6 +142,34 @@ def main(argv=None):
     )
     parser.add_argument(
         "--cache", action="store_true", help="enable the search-result cache"
+    )
+    cache_group = parser.add_argument_group("result cache")
+    cache_group.add_argument(
+        "--cache-tier",
+        choices=("off", "memory", "tiered", "disk"),
+        default=None,
+        help="result-cache stack: off, a shared memory LRU, "
+        "scratch+memory (tiered), or scratch+memory+disk",
+    )
+    cache_group.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds a cached result stays fresh (default: forever)",
+    )
+    cache_group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent disk tier "
+        "(default .wsq-cache, only with --cache-tier disk)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force the result cache off (overrides --cache/--cache-tier "
+        "and the REPRO_CACHE environment variable)",
     )
     parser.add_argument(
         "--sync", action="store_true", help="start in synchronous mode"

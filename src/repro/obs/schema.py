@@ -41,6 +41,11 @@ KNOWN_EVENT_NAMES = frozenset(
         _trace.OP_NEXT_BATCH,
         _trace.OP_CLOSE,
         _trace.WEB_CACHE_HIT,
+        _trace.CACHE_HIT,
+        _trace.CACHE_MISS,
+        _trace.CACHE_STALE,
+        _trace.CACHE_EVICT,
+        _trace.CACHE_COALESCE,
         _trace.PLAN_RULE_FIRED,
     }
 )

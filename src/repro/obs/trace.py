@@ -67,6 +67,17 @@ OP_NEXT_BATCH = "op.next_batch"
 OP_CLOSE = "op.close"
 WEB_CACHE_HIT = "web.cache_hit"
 
+#: Result-cache events (DESIGN.md §11).  ``cache.hit``/``cache.miss``/
+#: ``cache.stale``/``cache.evict`` are emitted by the cache tiers
+#: themselves (args carry the tier and request kind); ``cache.coalesce``
+#: is emitted by the request pump when a registration joins an identical
+#: in-flight call instead of issuing a new one (single-flight).
+CACHE_HIT = "cache.hit"
+CACHE_MISS = "cache.miss"
+CACHE_STALE = "cache.stale"
+CACHE_EVICT = "cache.evict"
+CACHE_COALESCE = "cache.coalesce"
+
 #: Planner events: one per optimizer-rule application (args carry the
 #: rule name and before/after node counts; ``explain(form="rules")``
 #: shows the same data without tracing).

@@ -199,6 +199,8 @@ class CostModel:
         cpu_per_patch=4e-6,
         call_overhead=2e-4,
         batch_size=None,
+        cache=None,
+        expected_hit_ratio=None,
     ):
         self.latency_mean = latency_mean
         self.per_destination_limits = dict(per_destination_limits or {})
@@ -210,6 +212,33 @@ class CostModel:
         #: = row-at-a-time, no discount — keeps historical estimates
         #: bit-identical).
         self.batch_size = batch_size
+        #: Cache-aware pricing: a live cache (anything exposing
+        #: ``hit_ratio()``) lets the model discount the expected fraction
+        #: of external calls that will be served locally; an explicit
+        #: ``expected_hit_ratio`` overrides the live estimate (useful for
+        #: what-if planning before any traffic exists).  Both unset — the
+        #: default — prices every call at full latency, bit-identical to
+        #: the seed model.
+        self.cache = cache
+        self.expected_hit_ratio = expected_hit_ratio
+
+    def miss_fraction(self):
+        """Expected fraction of external calls that actually hit the network.
+
+        ``1.0`` without a cache signal; otherwise ``1 - hit_ratio``,
+        clamped to [0, 1].  The live estimate deliberately lags reality
+        (it is the cache's *observed* ratio, not the workload's future
+        one) — good enough to steer sync-vs-async arbitration and wave
+        pricing, and it converges as the cache warms.
+        """
+        ratio = self.expected_hit_ratio
+        if ratio is None and self.cache is not None:
+            hit_ratio = getattr(self.cache, "hit_ratio", None)
+            if callable(hit_ratio):
+                ratio = hit_ratio()
+        if ratio is None:
+            return 1.0
+        return min(1.0, max(0.0, 1.0 - float(ratio)))
 
     def batch_discount(self):
         """Multiplier on per-row CPU under batch-at-a-time execution.
@@ -447,13 +476,18 @@ class CostModel:
         if isinstance(scan, (EVScan, AEVScan)):
             fanout = self._vtable_fanout(scan.instance)
             destination = self._destination(scan.instance)
+            # Cache-aware discount: only the expected-miss fraction of
+            # the per-binding calls reaches the network (1.0 without a
+            # cache signal — seed-identical estimates).
+            network_calls = left.rows * self.miss_fraction()
             calls = dict(left.calls)
-            calls[destination] = calls.get(destination, 0.0) + left.rows
+            calls[destination] = calls.get(destination, 0.0) + network_calls
             rows = left.rows * fanout
             waves = left.waves
             if isinstance(scan, EVScan):
-                # Sequential: every call is its own blocking wave.
-                waves += left.rows
+                # Sequential: every (non-cached) call is its own
+                # blocking wave.
+                waves += network_calls
             return PlanEstimate(
                 rows=rows,
                 local_rows=left.local_rows + rows,

@@ -41,9 +41,19 @@ class ExecOptions:
         Default streaming mode for ReqSyncs whose logical node does not
         pin one (the rule pack always pins it, so this mostly serves
         hand-built plans).
+    ``cache_tier`` / ``cache_ttl``
+        The result-cache configuration the plan will execute under
+        (``"off"``/``"memory"``/``"tiered"``/``"disk"`` and the default
+        TTL in seconds).  Carried for introspection — ``explain`` output,
+        cost models, and tests can see which cache the engine resolved —
+        lowering itself never reads them (the cache is semantically
+        transparent; wiring lives in the web clients and the engine).
     """
 
-    __slots__ = ("on_error", "batch_size", "wait_timeout", "stream")
+    __slots__ = (
+        "on_error", "batch_size", "wait_timeout", "stream",
+        "cache_tier", "cache_ttl",
+    )
 
     def __init__(
         self,
@@ -51,6 +61,8 @@ class ExecOptions:
         batch_size=None,
         wait_timeout=None,
         stream=False,
+        cache_tier=None,
+        cache_ttl=None,
     ):
         if on_error not in ("raise", "drop", "null"):
             raise PlanError(
@@ -62,6 +74,8 @@ class ExecOptions:
         self.batch_size = batch_size
         self.wait_timeout = wait_timeout
         self.stream = stream
+        self.cache_tier = cache_tier
+        self.cache_ttl = cache_ttl
 
     @classmethod
     def from_knobs(
@@ -70,6 +84,7 @@ class ExecOptions:
         rewrite_settings=None,
         on_error=None,
         batch_size=None,
+        cache=None,
     ):
         """Resolve the historical knob triplet into one struct.
 
@@ -104,18 +119,28 @@ class ExecOptions:
             resolved_on_error = on_error
         if batch_size is not None:
             resolved_batch = batch_size
+        cache_tier = None
+        cache_ttl = None
+        if cache is not None:
+            cache_tier = getattr(cache, "tier_name", "memory")
+            policy = getattr(cache, "policy", None)
+            if policy is not None:
+                cache_ttl = getattr(policy, "default_ttl", None)
         return cls(
             on_error=resolved_on_error or DEFAULT_ON_ERROR,
             batch_size=resolved_batch,
             wait_timeout=wait_timeout,
             stream=stream,
+            cache_tier=cache_tier if cache is not None else "off",
+            cache_ttl=cache_ttl,
         )
 
     def __repr__(self):
         return (
             "ExecOptions(on_error={!r}, batch_size={!r}, wait_timeout={!r}, "
-            "stream={!r})".format(
-                self.on_error, self.batch_size, self.wait_timeout, self.stream
+            "stream={!r}, cache_tier={!r}, cache_ttl={!r})".format(
+                self.on_error, self.batch_size, self.wait_timeout, self.stream,
+                self.cache_tier, self.cache_ttl,
             )
         )
 

@@ -23,7 +23,15 @@ package provides that black box, built from scratch:
 - :mod:`repro.web.world` — bundles corpus, engines, and fetch service.
 """
 
-from repro.web.cache import ResultCache
+from repro.web.cache import (
+    CachedFailure,
+    CacheLookup,
+    CachePolicy,
+    DiskCacheTier,
+    ResultCache,
+    TieredResultCache,
+    make_cache,
+)
 from repro.web.client import SearchClient
 from repro.web.corpus import Corpus, CorpusConfig, build_corpus
 from repro.web.engine import SearchEngine, SearchHit
@@ -32,8 +40,12 @@ from repro.web.latency import FixedLatency, UniformLatency, ZeroLatency
 from repro.web.world import SimulatedWeb, default_web
 
 __all__ = [
+    "CachePolicy",
+    "CacheLookup",
+    "CachedFailure",
     "Corpus",
     "CorpusConfig",
+    "DiskCacheTier",
     "FetchService",
     "FixedLatency",
     "ResultCache",
@@ -41,8 +53,10 @@ __all__ = [
     "SearchEngine",
     "SearchHit",
     "SimulatedWeb",
+    "TieredResultCache",
     "UniformLatency",
     "ZeroLatency",
     "build_corpus",
+    "make_cache",
     "default_web",
 ]

@@ -36,7 +36,7 @@ import asyncio
 import time
 
 from repro.asynciter.resilience import run_sync_with_retries
-from repro.util.errors import RequestTimeoutError
+from repro.util.errors import CachedFailureError, RequestTimeoutError
 from repro.web.cache import ResultCache
 from repro.web.faults import HANG, OUTAGE
 
@@ -98,7 +98,7 @@ class SearchClient:
             self._sleep(expr_text)
             return self.engine.count(expr_text)
 
-        result = self._retry_sync(expr_text, attempt)
+        result = self._retry_with_failure_caching(key, expr_text, attempt)
         self._cache_put(key, result)
         return result
 
@@ -114,7 +114,7 @@ class SearchClient:
                 self._sleep(expr_text)
             return self.engine.search(expr_text, limit)
 
-        result = self._retry_sync(expr_text, attempt)
+        result = self._retry_with_failure_caching(key, expr_text, attempt)
         self._cache_put(key, result)
         return result
 
@@ -253,17 +253,62 @@ class SearchClient:
             self.obs.metrics.inc("web.round_trips", engine=self.engine.name)
 
     def _cache_get(self, key):
+        """Read the cache: a value, ``None`` (miss), or a replayed failure.
+
+        Uses the status-carrying :meth:`~repro.web.cache.ResultCache.lookup`
+        when the cache provides it, so fresh *and* stale entries serve and
+        negatively-cached failures replay as
+        :class:`~repro.util.errors.CachedFailureError` (deliberately not a
+        :class:`~repro.util.errors.TransientWebError`: a replayed failure
+        is never retried — the negative TTL, not the retry policy, decides
+        when the destination is probed again).
+        """
         if self.cache is None:
             return None
-        value = self.cache.get(key)
-        if value is not None and self.obs is not None:
+        lookup = getattr(self.cache, "lookup", None)
+        if lookup is None:  # duck-typed stand-in cache: legacy surface
+            value = self.cache.get(key)
+            if value is not None:
+                self._note_cache_hit(key)
+            return value
+        found = lookup(key)
+        if found.failure:
+            self._note_cache_hit(key)
+            raise CachedFailureError(
+                "negatively cached failure for {!r}: {}: {}".format(
+                    key, found.value.error_type, found.value.message
+                )
+            )
+        if found.hit:
+            self._note_cache_hit(key)
+            return found.value
+        return None
+
+    def _note_cache_hit(self, key):
+        if self.obs is not None:
             self.obs.metrics.inc("web.cache_hits", engine=self.engine.name)
             tracer = self.obs.tracer
             if tracer is not None:
                 tracer.emit(
                     "web.cache_hit", destination=self.engine.name, key=str(key)
                 )
-        return value
+
+    def _retry_with_failure_caching(self, key, expr_text, attempt_fn):
+        """Sync-path execution with negative caching of exhausted failures.
+
+        Only the *synchronous* client writes failure records: here the
+        retry loop has already run its course, so the failure is final
+        for this request.  On the async path the pump owns retries —
+        caching a per-attempt error there would negatively cache an
+        outcome the very next retry might fix.
+        """
+        try:
+            return self._retry_sync(expr_text, attempt_fn)
+        except Exception as exc:
+            put_failure = getattr(self.cache, "put_failure", None)
+            if put_failure is not None:
+                put_failure(key, exc)
+            raise
 
     def _cache_put(self, key, value):
         if self.cache is not None:

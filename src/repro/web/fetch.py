@@ -49,9 +49,24 @@ class FetchService:
         self.cache = cache
         self.requests_sent = 0
 
+    def _cache_get(self, key):
+        """Status-aware read: serves fresh *and* stale entries.
+
+        Fetch results are plain values (a 404 is a :class:`FetchResult`,
+        not an exception), so there is no failure-replay path here —
+        the TTL policy alone decides how long a page stays cached.
+        """
+        if self.cache is None:
+            return None
+        lookup = getattr(self.cache, "lookup", None)
+        if lookup is None:
+            return self.cache.get(key)
+        found = lookup(key)
+        return found.value if found.hit else None
+
     def fetch(self, url):
         key = ResultCache.key("fetch", "fetch", url)
-        cached = self.cache.get(key) if self.cache is not None else None
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         delay = self._delay(url)
@@ -65,7 +80,7 @@ class FetchService:
 
     async def fetch_async(self, url):
         key = ResultCache.key("fetch", "fetch", url)
-        cached = self.cache.get(key) if self.cache is not None else None
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         delay = self._delay(url)

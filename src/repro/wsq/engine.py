@@ -1,5 +1,7 @@
 """The WSQ engine facade."""
 
+from contextlib import nullcontext
+
 from repro.asynciter.context import AsyncContext
 from repro.asynciter.pump import RequestPump, default_pump
 from repro.asynciter.rewrite import RewriteSettings, rewrite_logical
@@ -19,6 +21,7 @@ from repro.vtables.evscan import EVScan
 from repro.vtables.webcount import WebCountDef
 from repro.vtables.webfetch import WebFetchDef, WebLinksDef
 from repro.vtables.webpages import WebPagesDef
+from repro.web.cache import cache_from_env
 from repro.web.client import SearchClient
 from repro.web.world import default_web
 from repro.wsq.result import QueryResult
@@ -81,10 +84,19 @@ class WsqEngine:
         on_error=None,
         obs=None,
         batch_size=None,
+        single_flight=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
         self.latency = latency
+        # Cache resolution: an explicit cache wins; ``None`` consults the
+        # ``REPRO_CACHE`` environment (the CI transparency leg forces a
+        # default cache into every engine this way); ``False`` forces the
+        # cache off even under the env override.
+        if cache is None:
+            cache = cache_from_env()
+        elif cache is False:
+            cache = None
         self.cache = cache
         self.faults = faults
         self.resilience = resilience
@@ -92,16 +104,20 @@ class WsqEngine:
         self.clock = resolve_clock(obs.clock if obs is not None else None)
         self.on_error = on_error if on_error is not None else "raise"
         if pump is None:
-            if resilience is not None or obs is not None:
-                # A resilient or observed engine gets its own pump:
-                # attaching the policy/tracer to the shared default pump
-                # would change every other engine in the process.
+            if resilience is not None or obs is not None or single_flight:
+                # A resilient, observed, or single-flight engine gets its
+                # own pump: attaching the policy/tracer/coalescing to the
+                # shared default pump would change every other engine in
+                # the process.
                 pump = RequestPump(
                     name="reqpump-engine",
                     resilience=resilience,
                     tracer=obs.tracer if obs is not None else None,
                     metrics=obs.metrics if obs is not None else None,
                     clock=self.clock,
+                    single_flight=(
+                        single_flight if single_flight is not None else True
+                    ),
                 )
             else:
                 pump = default_pump()
@@ -110,7 +126,19 @@ class WsqEngine:
                 pump.resilience = resilience
             if obs is not None:
                 pump.tracer = obs.tracer
+            if single_flight is not None:
+                pump.single_flight = bool(single_flight)
         self.pump = pump
+        # Re-bind the cache's counters/trace onto the engine's
+        # observability bundle, so ``cache.stats()`` and
+        # ``metrics_snapshot()`` read the same storage and cache events
+        # land in the validated trace.  Only a *dedicated* registry is
+        # safe to share — migrating counters into the process-wide default
+        # pump's registry would mix every engine's caches together.
+        if obs is not None and self.cache is not None:
+            attach = getattr(self.cache, "attach_observability", None)
+            if attach is not None:
+                attach(metrics=obs.metrics, tracer=obs.tracer)
         self.dedup_calls = dedup_calls
         self.cost_model = cost_model
         self.planner_options = planner_options or PlannerOptions()
@@ -218,6 +246,7 @@ class WsqEngine:
             planner_options=self.planner_options,
             rewrite_settings=self.rewrite_settings,
             batch_size=self.batch_size,
+            cache=self.cache,
         )
 
     def _pipeline(self, query, mode, tracer, query_id=None):
@@ -346,7 +375,9 @@ class WsqEngine:
             if model is None:
                 from repro.plan.cost import CostModel
 
-                model = CostModel(latency_mean=self._latency_mean())
+                model = CostModel(
+                    latency_mean=self._latency_mean(), cache=self.cache
+                )
             return model.annotated_explain(plan)
         return plan.explain()
 
@@ -369,6 +400,19 @@ class WsqEngine:
             self._instrument_plan(plan, tracer, query_id)
         return plan, mode, query_id
 
+    def _cache_scope(self):
+        """The per-query scratch-tier scope (no-op for plain caches).
+
+        A :class:`~repro.web.cache.TieredResultCache` gets one scratch
+        dict per query: repeated identical calls within the query are
+        served without shared-tier locks, and the query keeps seeing one
+        consistent answer per key even if shared tiers expire mid-run.
+        """
+        scope = getattr(self.cache, "query_scope", None)
+        if scope is not None:
+            return scope()
+        return nullcontext()
+
     def _run_select(self, query, mode):
         tracer = self.tracer
         plan, mode, query_id = self._prepare(query, mode, tracer)
@@ -376,7 +420,8 @@ class WsqEngine:
             tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode)
         started = self.clock.now()
         try:
-            rows = self._drain_batches(plan)
+            with self._cache_scope():
+                rows = self._drain_batches(plan)
         finally:
             if tracer is not None:
                 tracer.emit(QUERY_SPAN, kind=END, query_id=query_id)
@@ -491,11 +536,15 @@ class WsqEngine:
                 name: client.requests_sent for name, client in self.clients.items()
             }
             cache_hits_before = self.cache.hits if self.cache is not None else 0
+            cache_misses_before = (
+                self.cache.misses if self.cache is not None else 0
+            )
             pump_before = self.pump.stats.snapshot()
             tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode, sql=sql)
             started = self.clock.now()
             try:
-                rows = self._drain_batches(wrapped)
+                with self._cache_scope():
+                    rows = self._drain_batches(wrapped)
             finally:
                 tracer.emit(QUERY_SPAN, kind=END, query_id=query_id)
             elapsed = self.clock.now() - started
@@ -512,7 +561,13 @@ class WsqEngine:
             for name, client in self.clients.items()
         }
         if self.cache is not None:
-            deltas["cache_hits"] = self.cache.hits - cache_hits_before
+            hits_moved = self.cache.hits - cache_hits_before
+            misses_moved = self.cache.misses - cache_misses_before
+            deltas["cache_hits"] = hits_moved
+            if hits_moved + misses_moved:
+                deltas["cache_hit_ratio"] = round(
+                    hits_moved / (hits_moved + misses_moved), 3
+                )
         if context is not None:
             deltas["dedup_hits"] = context.dedup_hits
             deltas["calls_registered"] = context.calls_registered
@@ -524,7 +579,12 @@ class WsqEngine:
         if call_errors:
             deltas["call_errors"] = call_errors
         pump_after = self.pump.stats.snapshot()
-        for counter in ("retries", "timeouts", "breaker_open_rejections"):
+        for counter in (
+            "retries",
+            "timeouts",
+            "breaker_open_rejections",
+            "coalesced",
+        ):
             moved = pump_after[counter] - pump_before[counter]
             if moved:
                 deltas[counter] = moved
@@ -549,7 +609,10 @@ class WsqEngine:
         if latencies:
             payload["latencies"] = latencies
         if self.cache is not None:
-            payload["cache"] = self.cache.stats()
+            detailed = getattr(self.cache, "detailed_stats", None)
+            payload["cache"] = (
+                detailed() if detailed is not None else self.cache.stats()
+            )
         if self.faults is not None:
             payload["faults"] = self.faults.snapshot()
             payload["client_retries"] = {

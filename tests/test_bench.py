@@ -22,7 +22,9 @@ from repro.datasets import SIGS
 def fast_engine(web, paper_db):
     from repro.wsq import WsqEngine
 
-    return WsqEngine(database=paper_db, web=web)
+    # cache=False: these tests count raw network calls, which the
+    # REPRO_CACHE transparency leg would legitimately change.
+    return WsqEngine(database=paper_db, web=web, cache=False)
 
 
 class TestWorkloads:
