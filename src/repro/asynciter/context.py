@@ -32,11 +32,14 @@ class AsyncContext:
     pump) are traced here.
     """
 
-    def __init__(self, pump, dedup=True, tracer=None, query_id=None):
+    def __init__(self, pump, dedup=True, tracer=None, query_id=None, deadline=None):
         self.pump = pump
         self.dedup = dedup
         self.tracer = tracer
         self.query_id = query_id
+        #: Per-query time budget (duck-typed Deadline), forwarded with
+        #: every registration so the pump can fail expired calls fast.
+        self.deadline = deadline
         self.clock = resolve_clock(getattr(pump, "clock", None))
         self._cond = threading.Condition()
         self._results = {}  # call_id -> list of result-field dicts
@@ -59,7 +62,10 @@ class AsyncContext:
             if existing is not None:
                 self._reuse_inflight(existing, call)
                 return existing
-        call_id = self.pump.register(call, self._on_complete, query_id=self.query_id)
+        call_id = self.pump.register(
+            call, self._on_complete, query_id=self.query_id,
+            **self._deadline_kwargs()
+        )
         self.calls_registered += 1
         with self._cond:
             self._leases[call_id] = 1
@@ -104,11 +110,15 @@ class AsyncContext:
             pump_batch = getattr(self.pump, "register_batch", None)
             if callable(pump_batch):
                 new_ids = pump_batch(
-                    fresh_calls, self._on_complete, query_id=self.query_id
+                    fresh_calls, self._on_complete, query_id=self.query_id,
+                    **self._deadline_kwargs()
                 )
             else:
                 new_ids = [
-                    self.pump.register(c, self._on_complete, query_id=self.query_id)
+                    self.pump.register(
+                        c, self._on_complete, query_id=self.query_id,
+                        **self._deadline_kwargs()
+                    )
                     for c in fresh_calls
                 ]
             self.calls_registered += len(new_ids)
@@ -127,6 +137,13 @@ class AsyncContext:
             self._reuse_inflight(call_id, calls[position])
             call_ids[position] = call_id
         return call_ids
+
+    def _deadline_kwargs(self):
+        # Only pass the kwarg when a deadline exists, so pump doubles
+        # (tests, alternative pumps) need not grow the parameter.
+        if self.deadline is None:
+            return {}
+        return {"deadline": self.deadline}
 
     def _reuse_inflight(self, call_id, call):
         """Account one dedup hit: a new lease on an in-flight call."""

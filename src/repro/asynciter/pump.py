@@ -49,7 +49,12 @@ from repro.obs.trace import (
     CALL_RETRY,
     CALL_TIMEOUT,
 )
-from repro.util.errors import BreakerOpenError, ExecutionError, RequestTimeoutError
+from repro.util.errors import (
+    BreakerOpenError,
+    ExecutionError,
+    QueryDeadlineExceeded,
+    RequestTimeoutError,
+)
 from repro.util.timing import resolve_clock
 
 
@@ -78,6 +83,7 @@ _DEST_COUNTER_KEYS = (
     "timeouts",
     "breaker_open_rejections",
     "coalesced",
+    "deadline_expired",
 )
 
 #: Histogram kinds the pump observes per settled call.
@@ -178,14 +184,22 @@ class _CallTiming:
     ``limit + 1`` overlapping requests under a concurrency limit.
     """
 
-    __slots__ = ("registered_at", "issued_at", "finished_at", "query_id", "attempts")
+    __slots__ = (
+        "registered_at",
+        "issued_at",
+        "finished_at",
+        "query_id",
+        "attempts",
+        "deadline",
+    )
 
-    def __init__(self, registered_at, query_id):
+    def __init__(self, registered_at, query_id, deadline=None):
         self.registered_at = registered_at
         self.issued_at = None
         self.finished_at = None
         self.query_id = query_id
         self.attempts = 0
+        self.deadline = deadline
 
 
 class _Flight:
@@ -215,6 +229,25 @@ class _Flight:
         self.members = {}  # call_id -> on_complete callback
         self.task_future = None  # the anchor coroutine's future
         self.settled = False
+
+
+def _settle_member_future(future, outcome):
+    """Settle a flight member's future, tolerating a lost cancel race.
+
+    A member can be cancelled (client disconnect) in the window between
+    :meth:`RequestPump._drain_flight` collecting the futures and the
+    fan-out loop reaching this one; ``set_result`` on the
+    already-cancelled future would raise ``InvalidStateError`` *inside
+    the fan-out loop* and strand every member after it — an unsettled
+    flight and leaked futures.  The done-check + exception guard makes
+    fan-out unconditional progress.
+    """
+    if future is None or future.done():
+        return
+    try:
+        future.set_result(outcome)
+    except concurrent.futures.InvalidStateError:
+        pass  # cancelled between the check and the set: already settled
 
 
 class RequestPump:
@@ -332,12 +365,17 @@ class RequestPump:
 
     # -- registration ---------------------------------------------------------------
 
-    def register(self, call, on_complete, query_id=None):
+    def register(self, call, on_complete, query_id=None, deadline=None):
         """Launch *call* asynchronously; returns its call id.
 
         ``on_complete(call_id, rows, error)`` fires on the pump thread when
         the call finishes (exactly one of *rows*/*error* is not None).
-        *query_id* is a correlation id for tracing only.
+        *query_id* is a correlation id for tracing only.  *deadline* (a
+        :class:`~repro.serve.deadline.Deadline`, duck-typed) bounds the
+        call end-to-end: the per-attempt timeout becomes
+        ``min(policy.call_timeout, deadline.remaining())`` and an
+        already-expired deadline fails the call fast with
+        :class:`QueryDeadlineExceeded` before it can occupy a pump slot.
         """
         self.ensure_started()
         with self._lock:
@@ -347,10 +385,13 @@ class RequestPump:
             self._next_call_id += 1
             loop = self._loop
         registered_at = self.clock.now()
-        self._launch(call, call_id, on_complete, query_id, loop, registered_at)
+        self._launch(
+            call, call_id, on_complete, query_id, loop, registered_at,
+            deadline=deadline,
+        )
         return call_id
 
-    def register_batch(self, calls, on_complete, query_id=None):
+    def register_batch(self, calls, on_complete, query_id=None, deadline=None):
         """Register many calls in one go; returns their call ids in order.
 
         The batched counterpart of :meth:`register` for vectorized scans:
@@ -384,12 +425,21 @@ class RequestPump:
                 loop,
                 registered_at,
                 batch=len(calls),
+                deadline=deadline,
             )
             call_ids.append(call_id)
         return call_ids
 
     def _launch(
-        self, call, call_id, on_complete, query_id, loop, registered_at, batch=None
+        self,
+        call,
+        call_id,
+        on_complete,
+        query_id,
+        loop,
+        registered_at,
+        batch=None,
+        deadline=None,
     ):
         """Common registration tail: stats, trace, and task/flight wiring.
 
@@ -419,7 +469,8 @@ class RequestPump:
             )
         if self.single_flight and call.key is not None:
             self._register_flight(
-                call, call_id, on_complete, query_id, loop, registered_at
+                call, call_id, on_complete, query_id, loop, registered_at,
+                deadline=deadline,
             )
             return
         # Store the future *under the lock before the loop thread can
@@ -427,7 +478,9 @@ class RequestPump:
         # performs the pop, so a fast completion can no longer race the
         # assignment and leak the entry.
         with self._futures_lock:
-            self._timings[call_id] = _CallTiming(registered_at, query_id)
+            self._timings[call_id] = _CallTiming(
+                registered_at, query_id, deadline
+            )
             future = asyncio.run_coroutine_threadsafe(
                 self._run_call(call_id, call, on_complete), loop
             )
@@ -439,13 +492,23 @@ class RequestPump:
     # -- single-flight coalescing -----------------------------------------------
 
     def _register_flight(
-        self, call, call_id, on_complete, query_id, loop, registered_at
+        self, call, call_id, on_complete, query_id, loop, registered_at,
+        deadline=None,
     ):
-        """Join the live flight for ``call.key``, or anchor a new one."""
+        """Join the live flight for ``call.key``, or anchor a new one.
+
+        Members may carry different deadlines; the *anchor's* deadline
+        governs the shared physical task (a follower with a tighter
+        budget observes its own expiry at the ReqSync wait loop, not
+        here — cancelling the shared task would fail the other queries'
+        identical call).
+        """
         destination = call.destination
         key = call.key
         with self._futures_lock:
-            self._timings[call_id] = _CallTiming(registered_at, query_id)
+            self._timings[call_id] = _CallTiming(
+                registered_at, query_id, deadline
+            )
             member_future = concurrent.futures.Future()
             self._futures[call_id] = member_future
             flight = self._flights.get(key)
@@ -499,11 +562,9 @@ class RequestPump:
                 try:
                     callback(member_id, rows, error)
                 except Exception:  # noqa: BLE001 - isolate member callbacks
-                    if future is not None and not future.done():
-                        future.set_result("error")
+                    _settle_member_future(future, "error")
                 else:
-                    if future is not None and not future.done():
-                        future.set_result(outcome)
+                    _settle_member_future(future, outcome)
 
         return deliver
 
@@ -551,8 +612,9 @@ class RequestPump:
             except Exception:  # noqa: BLE001 - isolate member callbacks
                 pass
             finally:
-                if future is not None and not future.done():
-                    future.set_result("error" if error is not None else "ok")
+                _settle_member_future(
+                    future, "error" if error is not None else "ok"
+                )
 
     def quiesce(self, timeout=1.0):
         """Wait (real time) until every registered call has settled.
@@ -654,6 +716,7 @@ class RequestPump:
         dest_sem = self._dest_semaphore(call.destination)
         tracer = self.tracer
         timing = self._timing_for(call_id)
+        deadline = timing.deadline if timing is not None else None
         try:
             if tracer is not None:
                 tracer.emit(
@@ -662,8 +725,15 @@ class RequestPump:
                     query_id=(timing.query_id if timing is not None else None),
                     destination=call.destination,
                 )
+            # Fail fast *before* queueing for a slot: a call whose query
+            # already spent its budget must not displace live work.
+            self._check_deadline(deadline, call.destination, "enqueue")
             async with _maybe(global_sem):
                 async with _maybe(dest_sem):
+                    # Re-check after the (possibly long) semaphore wait:
+                    # the slot was just acquired, but issuing a network
+                    # round trip nobody is waiting for would waste it.
+                    self._check_deadline(deadline, call.destination, "issue")
                     issued_at = self.clock.now()
                     if timing is not None:
                         timing.issued_at = issued_at
@@ -697,11 +767,28 @@ class RequestPump:
         with self._futures_lock:
             return self._timings.get(call_id)
 
-    def _trace_call(self, name, call_id, destination, **args):
+    def _check_deadline(self, deadline, destination, stage):
+        """Raise ``QueryDeadlineExceeded`` if *deadline* is spent."""
+        if deadline is None or not deadline.expired:
+            return
+        self.stats.bump(destination, "deadline_expired")
+        raise QueryDeadlineExceeded(
+            "deadline expired before {} for destination {!r}".format(
+                stage, destination
+            ),
+            deadline=deadline,
+        )
+
+    def _trace_call(self, name, call_id, destination, timing=None, **args):
+        # *timing* is passed by callers that already hold the entry:
+        # after an anchor detaches from a coalesced flight its timing is
+        # popped, and a fresh lookup would lose the query_id attribution
+        # on the retry/timeout events the surviving task still emits.
         tracer = self.tracer
         if tracer is None:
             return
-        timing = self._timing_for(call_id)
+        if timing is None:
+            timing = self._timing_for(call_id)
         tracer.emit(
             name,
             call_id=call_id,
@@ -713,13 +800,35 @@ class RequestPump:
     # -- resilience ---------------------------------------------------------------
 
     async def _execute_resilient(self, call_id, call):
-        """One call under the resilience policy: timeout, retry, breaker."""
+        """One call under the resilience policy: timeout, retry, breaker.
+
+        With a deadline attached the per-attempt timeout tightens to
+        ``min(policy.call_timeout, deadline.remaining())``; hitting the
+        *deadline* (rather than the policy timeout) is terminal —
+        retrying could not possibly finish in time, so the attempt raises
+        :class:`QueryDeadlineExceeded` and the retry loop refuses to
+        continue.  Backoff sleeps are likewise capped at the remaining
+        budget.
+        """
         policy = self.resilience
         timing = self._timing_for(call_id)
+        deadline = timing.deadline if timing is not None else None
         if policy is None:
             if timing is not None:
                 timing.attempts = 1
-            return await call.execute_async()
+            bound = deadline.budget() if deadline is not None else None
+            if bound is None:
+                return await call.execute_async()
+            try:
+                return await asyncio.wait_for(call.execute_async(), bound)
+            except asyncio.TimeoutError:
+                self.stats.bump(call.destination, "deadline_expired")
+                raise QueryDeadlineExceeded(
+                    "call to {!r} cut off by query deadline".format(
+                        call.destination
+                    ),
+                    deadline=deadline,
+                ) from None
         breaker = self._breaker_for(call.destination)
         retry = policy.retry
         attempt = 0
@@ -727,7 +836,11 @@ class RequestPump:
             if breaker is not None and not breaker.allow():
                 self.stats.bump(call.destination, "breaker_open_rejections")
                 self._trace_call(
-                    CALL_BREAKER_REJECT, call_id, call.destination, attempt=attempt
+                    CALL_BREAKER_REJECT,
+                    call_id,
+                    call.destination,
+                    timing=timing,
+                    attempt=attempt,
                 )
                 raise BreakerOpenError(
                     "circuit breaker open for destination {!r}: "
@@ -735,12 +848,24 @@ class RequestPump:
                         call.destination
                     )
                 )
+            if deadline is not None:
+                timeout = deadline.budget(policy.call_timeout)
+                deadline_bound = (
+                    timeout is not None
+                    and (
+                        policy.call_timeout is None
+                        or timeout < policy.call_timeout
+                    )
+                )
+            else:
+                timeout = policy.call_timeout
+                deadline_bound = False
             try:
                 if timing is not None:
                     timing.attempts = attempt + 1
                 coroutine = call.execute_async(attempt)
-                if policy.call_timeout is not None:
-                    rows = await asyncio.wait_for(coroutine, policy.call_timeout)
+                if timeout is not None:
+                    rows = await asyncio.wait_for(coroutine, timeout)
                 else:
                     rows = await coroutine
             except asyncio.CancelledError:
@@ -749,29 +874,55 @@ class RequestPump:
                 if isinstance(exc, asyncio.TimeoutError) and not isinstance(
                     exc, RequestTimeoutError
                 ):
+                    if deadline_bound and deadline.expired:
+                        # The *query's* budget ran out mid-attempt, not
+                        # the per-call policy timeout.  Not a breaker
+                        # failure (the destination may be healthy), and
+                        # never retried.
+                        self.stats.bump(call.destination, "deadline_expired")
+                        raise QueryDeadlineExceeded(
+                            "call to {!r} cut off by query deadline "
+                            "(attempt {})".format(call.destination, attempt + 1),
+                            deadline=deadline,
+                        ) from None
                     exc = RequestTimeoutError(
                         "call to {!r} timed out after {}s (attempt {})".format(
-                            call.destination, policy.call_timeout, attempt + 1
+                            call.destination, timeout, attempt + 1
                         )
                     )
                     self.stats.bump(call.destination, "timeouts")
                     self._trace_call(
-                        CALL_TIMEOUT, call_id, call.destination, attempt=attempt
+                        CALL_TIMEOUT,
+                        call_id,
+                        call.destination,
+                        timing=timing,
+                        attempt=attempt,
                     )
                 elif isinstance(exc, RequestTimeoutError):
                     self.stats.bump(call.destination, "timeouts")
                     self._trace_call(
-                        CALL_TIMEOUT, call_id, call.destination, attempt=attempt
+                        CALL_TIMEOUT,
+                        call_id,
+                        call.destination,
+                        timing=timing,
+                        attempt=attempt,
                     )
                 if breaker is not None:
                     breaker.record_failure()
-                if retry is not None and retry.should_retry(exc, attempt):
+                if (
+                    retry is not None
+                    and retry.should_retry(exc, attempt)
+                    and (deadline is None or not deadline.expired)
+                ):
                     self.stats.bump(call.destination, "retries")
                     delay = retry.backoff_delay(call.key, attempt)
+                    if deadline is not None:
+                        delay = min(delay, deadline.remaining())
                     self._trace_call(
                         CALL_RETRY,
                         call_id,
                         call.destination,
+                        timing=timing,
                         attempt=attempt,
                         backoff_s=delay,
                         error=type(exc).__name__,

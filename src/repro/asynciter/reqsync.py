@@ -56,10 +56,14 @@ from repro.obs.trace import (
     SYNC_WAIT,
 )
 from repro.relational.placeholder import Placeholder, row_pending_calls
-from repro.util.errors import ExecutionError
+from repro.util.errors import ExecutionError, QueryDeadlineExceeded
 
 #: Safety valve so a lost completion signal cannot hang a query forever.
 DEFAULT_WAIT_TIMEOUT = 60.0
+
+#: With a deadline attached, the blocking wait is sliced this fine so
+#: expiry/cancellation is observed within one slice, not one wait_timeout.
+DEADLINE_POLL_INTERVAL = 0.05
 
 #: ``on_error`` policies.
 ON_ERROR_RAISE = "raise"
@@ -104,6 +108,7 @@ class ReqSync(Operator):
         preserve_order=False,
         wait_timeout=DEFAULT_WAIT_TIMEOUT,
         on_error=ON_ERROR_RAISE,
+        deadline=None,
     ):
         if on_error not in ON_ERROR_POLICIES:
             raise ExecutionError(
@@ -117,6 +122,11 @@ class ReqSync(Operator):
         self.preserve_order = preserve_order
         self.wait_timeout = wait_timeout
         self.on_error = on_error
+        #: Per-query budget/cancellation token (duck-typed Deadline).
+        #: The wait loop is the query thread's deadline checkpoint: rows
+        #: already materialized still flow, but blocking on the network
+        #: past expiry raises :class:`QueryDeadlineExceeded` instead.
+        self.deadline = deadline
         self.schema = child.schema
         self.children = (child,)
         # Buffering state (created at open()).
@@ -211,9 +221,7 @@ class ReqSync(Operator):
                 buffered=len(self._buffered),
             )
         try:
-            done = self.context.wait_for_any(
-                outstanding, timeout=self.wait_timeout
-            )
+            done = self._wait_for_any(outstanding)
         finally:
             if tracer is not None:
                 tracer.emit(
@@ -224,9 +232,54 @@ class ReqSync(Operator):
                 try:
                     rows = self.context.take_result(call_id)
                 except ExecutionError:
+                    # An expired deadline can land here first (the pump
+                    # cut the call and its error won the race against our
+                    # own checkpoint): surface the typed expiry rather
+                    # than degrading or wrapping it.
+                    if self.deadline is not None and self.deadline.expired:
+                        self._raise_if_expired(self.deadline)
                     self._degrade(call_id)
                 else:
                     self._apply_completion(call_id, rows)
+
+    def _wait_for_any(self, outstanding):
+        """Wait for a completion, slicing the block under a deadline.
+
+        Without a deadline this is the historical single blocking wait.
+        With one, the wait runs in :data:`DEADLINE_POLL_INTERVAL` slices
+        so expiry — including :meth:`Deadline.cancel` from a client
+        disconnect — interrupts the query within one slice; the overall
+        ``wait_timeout`` safety valve still applies across slices.
+        """
+        deadline = self.deadline
+        if deadline is None:
+            return self.context.wait_for_any(outstanding, timeout=self.wait_timeout)
+        budget = (
+            self.wait_timeout if self.wait_timeout is not None else float("inf")
+        )
+        while True:
+            self._raise_if_expired(deadline)
+            piece = min(DEADLINE_POLL_INTERVAL, budget)
+            remaining = deadline.remaining()
+            if remaining < piece:
+                piece = max(remaining, 0.001)
+            try:
+                return self.context.wait_for_any(outstanding, timeout=piece)
+            except ExecutionError:
+                budget -= piece
+                if budget <= 0:
+                    raise  # the genuine lost-signal timeout
+
+    def _raise_if_expired(self, deadline):
+        if not deadline.expired:
+            return
+        reason = getattr(deadline, "reason", None)
+        raise QueryDeadlineExceeded(
+            "query abandoned while awaiting external calls: {}".format(reason)
+            if reason is not None
+            else "query deadline exceeded while awaiting external calls",
+            deadline=deadline,
+        )
 
     def close(self):
         if self._by_call:

@@ -137,6 +137,11 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = None
         self._half_open_probes = 0
+        #: Clock reading of the most recent state change (None while the
+        #: breaker has never left its initial closed state) — operators
+        #: reading a snapshot can tell a breaker that opened a second ago
+        #: from one that has been failing fast for an hour.
+        self._last_transition_at = None
         # Transition / rejection counters for the pump stats.
         self.opens = 0
         self.half_opens = 0
@@ -167,6 +172,7 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             if self._state == HALF_OPEN:
                 self._state = CLOSED
+                self._last_transition_at = self.config.clock()
                 self.closes += 1
 
     def record_failure(self):
@@ -184,6 +190,7 @@ class CircuitBreaker:
     def _trip_locked(self):
         self._state = OPEN
         self._opened_at = self.config.clock()
+        self._last_transition_at = self._opened_at
         self._consecutive_failures = 0
         self.opens += 1
 
@@ -193,10 +200,12 @@ class CircuitBreaker:
         ):
             self._state = HALF_OPEN
             self._half_open_probes = 0
+            self._last_transition_at = self.config.clock()
             self.half_opens += 1
 
     def snapshot(self):
         with self._lock:
+            self._maybe_half_open_locked()
             return {
                 "state": self._state,
                 "consecutive_failures": self._consecutive_failures,
@@ -204,6 +213,8 @@ class CircuitBreaker:
                 "half_opens": self.half_opens,
                 "closes": self.closes,
                 "rejections": self.rejections,
+                "opened_at": self._opened_at,
+                "last_transition_at": self._last_transition_at,
             }
 
     def __repr__(self):

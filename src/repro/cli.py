@@ -339,6 +339,25 @@ def _dot_command(engine, line, mode):
         stats = engine.stats()
         for key, value in stats.items():
             print("  {}: {}".format(key, value))
+        breakers = stats.get("pump", {}).get("breakers") or {}
+        if breakers:
+            print("  circuit breakers:")
+            for destination, snap in sorted(breakers.items()):
+                line = "    {}: {}".format(destination, snap["state"])
+                if snap.get("opened_at") is not None:
+                    line += " (opened_at={:.3f}".format(snap["opened_at"])
+                    if snap.get("last_transition_at") is not None:
+                        line += ", last_transition_at={:.3f}".format(
+                            snap["last_transition_at"]
+                        )
+                    line += ")"
+                line += "  opens={} half_opens={} closes={} rejections={}".format(
+                    snap["opens"],
+                    snap["half_opens"],
+                    snap["closes"],
+                    snap["rejections"],
+                )
+                print(line)
     elif command == ".metrics":
         print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
     else:

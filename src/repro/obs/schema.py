@@ -47,6 +47,12 @@ KNOWN_EVENT_NAMES = frozenset(
         _trace.CACHE_EVICT,
         _trace.CACHE_COALESCE,
         _trace.PLAN_RULE_FIRED,
+        _trace.SERVE_SUBMIT,
+        _trace.SERVE_ADMIT,
+        _trace.SERVE_SHED,
+        _trace.SERVE_START,
+        _trace.SERVE_FINISH,
+        _trace.SERVE_CANCEL,
     }
 )
 

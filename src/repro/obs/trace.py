@@ -83,6 +83,17 @@ CACHE_COALESCE = "cache.coalesce"
 #: shows the same data without tracing).
 PLAN_RULE_FIRED = "plan.rule_fired"
 
+#: Query-service events (DESIGN.md §12): the admission/dispatch
+#: lifecycle of one served query — ``submit → admit|shed``, then for
+#: admitted queries ``start → finish|cancel``.  Args carry the tenant
+#: and (for sheds) the typed rejection reason.
+SERVE_SUBMIT = "serve.submit"
+SERVE_ADMIT = "serve.admit"
+SERVE_SHED = "serve.shed"
+SERVE_START = "serve.start"
+SERVE_FINISH = "serve.finish"
+SERVE_CANCEL = "serve.cancel"
+
 #: Names that settle a call (used by the analyzers).
 CALL_SETTLED = (CALL_COMPLETE, CALL_CANCEL, CALL_FAIL)
 

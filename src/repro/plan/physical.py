@@ -48,11 +48,16 @@ class ExecOptions:
         cost models, and tests can see which cache the engine resolved —
         lowering itself never reads them (the cache is semantically
         transparent; wiring lives in the web clients and the engine).
+    ``deadline``
+        The query's end-to-end :class:`~repro.serve.deadline.Deadline`
+        (duck-typed; ``None`` = unbounded).  Stamped on every ReqSync
+        and synchronous EVScan so both the blocking wait loop and the
+        sequential call path observe expiry/cancellation.
     """
 
     __slots__ = (
         "on_error", "batch_size", "wait_timeout", "stream",
-        "cache_tier", "cache_ttl",
+        "cache_tier", "cache_ttl", "deadline",
     )
 
     def __init__(
@@ -63,6 +68,7 @@ class ExecOptions:
         stream=False,
         cache_tier=None,
         cache_ttl=None,
+        deadline=None,
     ):
         if on_error not in ("raise", "drop", "null"):
             raise PlanError(
@@ -76,6 +82,7 @@ class ExecOptions:
         self.stream = stream
         self.cache_tier = cache_tier
         self.cache_ttl = cache_ttl
+        self.deadline = deadline
 
     @classmethod
     def from_knobs(
@@ -85,6 +92,7 @@ class ExecOptions:
         on_error=None,
         batch_size=None,
         cache=None,
+        deadline=None,
     ):
         """Resolve the historical knob triplet into one struct.
 
@@ -133,14 +141,15 @@ class ExecOptions:
             stream=stream,
             cache_tier=cache_tier if cache is not None else "off",
             cache_ttl=cache_ttl,
+            deadline=deadline,
         )
 
     def __repr__(self):
         return (
             "ExecOptions(on_error={!r}, batch_size={!r}, wait_timeout={!r}, "
-            "stream={!r}, cache_tier={!r}, cache_ttl={!r})".format(
+            "stream={!r}, cache_tier={!r}, cache_ttl={!r}, deadline={!r})".format(
                 self.on_error, self.batch_size, self.wait_timeout, self.stream,
-                self.cache_tier, self.cache_ttl,
+                self.cache_tier, self.cache_ttl, self.deadline,
             )
         )
 
@@ -251,7 +260,7 @@ def _lower_vtable_scan(node, options, context):
     from repro.vtables.evscan import EVScan
 
     on_error = node.on_error if node.on_error is not None else options.on_error
-    return EVScan(node.instance, on_error=on_error)
+    return EVScan(node.instance, on_error=on_error, deadline=options.deadline)
 
 
 def _lower_reqsync(node, options, context):
@@ -263,6 +272,8 @@ def _lower_reqsync(node, options, context):
     if options.wait_timeout is not None:
         kwargs["wait_timeout"] = options.wait_timeout
     kwargs["on_error"] = options.on_error
+    if options.deadline is not None:
+        kwargs["deadline"] = options.deadline
     reqsync = ReqSync(_lower(node.child, options, context), context, **kwargs)
     if options.batch_size is not None:
         reqsync.batch_size = options.batch_size

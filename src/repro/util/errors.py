@@ -76,6 +76,40 @@ class PlaceholderError(ExecutionError):
     """
 
 
+class QueryDeadlineExceeded(ExecutionError):
+    """A query ran out of its end-to-end deadline budget.
+
+    Raised at every deadline checkpoint — registration with the request
+    pump, the pre-issue check inside a concurrency slot, the per-attempt
+    ``asyncio.wait_for`` bound, and the ReqSync wait loop — so an
+    expired query fails *fast* instead of burning pump slots or network
+    round trips on an answer nobody is waiting for.  ``deadline`` is the
+    originating :class:`repro.serve.deadline.Deadline` (or ``None`` for
+    hand-raised instances).
+    """
+
+    def __init__(self, message, deadline=None):
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class AdmissionRejected(ReproError):
+    """The query service refused to run a query (load shedding).
+
+    Typed so callers can distinguish overload from failure and back off:
+    ``tenant`` names the budget that was exhausted, ``reason`` is one of
+    ``"queue_full"`` / ``"deadline"`` / ``"shutdown"``, and
+    ``retry_after`` is the service's estimate (seconds) of when a retry
+    has a chance of being admitted.
+    """
+
+    def __init__(self, message, tenant=None, reason=None, retry_after=None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 class VirtualTableError(ReproError):
     """A virtual-table implementation rejected its inputs."""
 

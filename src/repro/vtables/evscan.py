@@ -21,7 +21,11 @@ from repro.obs.trace import (
     CALL_REGISTER,
     SYNC_DEGRADE,
 )
-from repro.util.errors import ExecutionError, ReproError
+from repro.util.errors import (
+    ExecutionError,
+    QueryDeadlineExceeded,
+    ReproError,
+)
 from repro.util.timing import resolve_clock
 
 
@@ -38,7 +42,7 @@ class EVScan(Operator):
     with pump call ids.
     """
 
-    def __init__(self, instance, on_error="raise"):
+    def __init__(self, instance, on_error="raise", deadline=None):
         if on_error not in ("raise", "drop", "null"):
             raise ExecutionError(
                 "unknown on_error policy {!r}; expected raise/drop/null".format(
@@ -47,6 +51,9 @@ class EVScan(Operator):
             )
         self.instance = instance
         self.on_error = on_error
+        #: Per-query budget (duck-typed Deadline): the sequential path's
+        #: checkpoint is before each blocking round trip.
+        self.deadline = deadline
         self.schema = instance.schema
         self.children = ()
         self._rows = None
@@ -68,6 +75,16 @@ class EVScan(Operator):
     def open(self, bindings=None):
         resolved = self.instance.resolve_bindings(bindings)
         call = self.instance.make_call(resolved)
+        if self.deadline is not None and self.deadline.expired:
+            # Fail fast before the blocking round trip; the deadline
+            # cannot interrupt execute_sync() mid-call, so this is the
+            # sequential path's only checkpoint.
+            raise QueryDeadlineExceeded(
+                "deadline expired before synchronous call to {!r}".format(
+                    call.destination
+                ),
+                deadline=self.deadline,
+            )
         self.calls_issued += 1
         tracer = self.tracer
         call_id = None

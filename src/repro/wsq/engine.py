@@ -234,22 +234,24 @@ class WsqEngine:
 
     # -- planning -----------------------------------------------------------------
 
-    def exec_options(self):
+    def exec_options(self, deadline=None):
         """The consolidated :class:`~repro.plan.physical.ExecOptions`.
 
         One resolution point for the historical ``on_error`` /
         ``batch_size`` / ``wait_timeout`` knob triplet across
         ``PlannerOptions``, ``RewriteSettings``, and the engine — the
-        sync and async paths lower with the same struct.
+        sync and async paths lower with the same struct.  *deadline* is
+        the per-query budget stamped over the lowered plan.
         """
         return ExecOptions.from_knobs(
             planner_options=self.planner_options,
             rewrite_settings=self.rewrite_settings,
             batch_size=self.batch_size,
             cache=self.cache,
+            deadline=deadline,
         )
 
-    def _pipeline(self, query, mode, tracer, query_id=None):
+    def _pipeline(self, query, mode, tracer, query_id=None, deadline=None):
         """The three-layer pipeline: build -> rules -> lower.
 
         Returns ``(plan, logical, firings, mode, query_id)`` where
@@ -272,6 +274,7 @@ class WsqEngine:
                 dedup=self.dedup_calls,
                 tracer=tracer,
                 query_id=query_id,
+                deadline=deadline,
             )
             logical, placement = rewrite_logical(
                 logical,
@@ -281,7 +284,7 @@ class WsqEngine:
                 query_id=query_id,
             )
             firings = firings + placement
-        plan = lower(logical, self.exec_options(), context)
+        plan = lower(logical, self.exec_options(deadline=deadline), context)
         return plan, logical, firings, mode, query_id
 
     def plan(self, sql, mode=ASYNC):
@@ -392,10 +395,12 @@ class WsqEngine:
 
     # -- execution ---------------------------------------------------------------------
 
-    def _prepare(self, query, mode, tracer):
+    def _prepare(self, query, mode, tracer, deadline=None):
         """Plan + rewrite + instrument one SELECT; returns (plan, mode, qid)."""
         query_id = self._next_query_id(tracer)
-        plan, _, _, mode, _ = self._pipeline(query, mode, tracer, query_id)
+        plan, _, _, mode, _ = self._pipeline(
+            query, mode, tracer, query_id, deadline=deadline
+        )
         if tracer is not None:
             self._instrument_plan(plan, tracer, query_id)
         return plan, mode, query_id
@@ -413,9 +418,9 @@ class WsqEngine:
             return scope()
         return nullcontext()
 
-    def _run_select(self, query, mode):
+    def _run_select(self, query, mode, deadline=None):
         tracer = self.tracer
-        plan, mode, query_id = self._prepare(query, mode, tracer)
+        plan, mode, query_id = self._prepare(query, mode, tracer, deadline)
         if tracer is not None:
             tracer.emit(QUERY_SPAN, kind=BEGIN, query_id=query_id, mode=mode)
         started = self.clock.now()
@@ -445,15 +450,22 @@ class WsqEngine:
             extend(batch)
         return rows
 
-    def execute(self, sql, mode=ASYNC):
-        """Run a SELECT and materialize its result."""
-        return self._run_select(parse_select(sql), mode)
+    def execute(self, sql, mode=ASYNC, deadline=None):
+        """Run a SELECT and materialize its result.
 
-    def run(self, statement_sql, mode=ASYNC):
+        *deadline* (a :class:`~repro.serve.deadline.Deadline`) bounds the
+        query end-to-end: it tightens every external call's timeout to
+        ``min(policy.call_timeout, deadline.remaining())`` and raises
+        :class:`~repro.util.errors.QueryDeadlineExceeded` at the next
+        checkpoint once the budget is spent (or the deadline cancelled).
+        """
+        return self._run_select(parse_select(sql), mode, deadline=deadline)
+
+    def run(self, statement_sql, mode=ASYNC, deadline=None):
         """Execute any supported statement (SELECT or DDL/DML)."""
         statement = parse(statement_sql)
         if isinstance(statement, ast.SelectQuery):
-            return self._run_select(statement, mode)
+            return self._run_select(statement, mode, deadline=deadline)
         if isinstance(statement, ast.Analyze):
             stats = self.database.analyze(statement.table)
             return QueryResult(
@@ -621,8 +633,15 @@ class WsqEngine:
         return payload
 
     def metrics_snapshot(self):
-        """The full metrics-registry snapshot (counters/gauges/histograms)."""
-        return self.pump.metrics.snapshot()
+        """The full metrics-registry snapshot (counters/gauges/histograms).
+
+        ``"breakers"`` adds the per-destination circuit-breaker states
+        (closed/open/half-open plus transition timestamps) so operators
+        can tell *why* a destination is failing fast, not just how often.
+        """
+        payload = self.pump.metrics.snapshot()
+        payload["breakers"] = self.pump.breakers()
+        return payload
 
     def observability(self):
         """The attached bundle, creating a disabled one on first use."""

@@ -402,3 +402,145 @@ class TestConcurrentQueryStress:
 async def _slow_rows():
     await asyncio.sleep(0.01)
     return [{"count": 1}]
+
+
+class TestDetachDuringLeaderBackoff:
+    """Regression: a member leaving while the leader sits in retry backoff
+    must neither distort the retry accounting nor strand the flight
+    (historically a lost cancel race could raise InvalidStateError inside
+    the fan-out loop and leave later members unsettled forever)."""
+
+    def _retry_pump(self):
+        return RequestPump(
+            limits=PumpLimits(max_total=1),
+            tracer=Tracer(),
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(
+                    max_attempts=3, base_backoff=0.3, jitter=0.0
+                )
+            ),
+            single_flight=True,
+        )
+
+    def _flaky_call(self, attempts, release):
+        """Fails transiently on attempt 1, then blocks until *release*."""
+
+        async def run():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise TransientWebError("first attempt fails")
+            while not release.is_set():
+                await asyncio.sleep(0.002)
+            return [{"count": 7}]
+
+        return ExternalCall("k", "AV", lambda: [], run)
+
+    def _wait_for_backoff(self, pump):
+        """Block until attempt 1 has failed and the retry is scheduled."""
+        deadline = time.monotonic() + 5
+        while pump.stats.snapshot()["retries"] < 1:
+            assert time.monotonic() < deadline, "leader never hit backoff"
+            time.sleep(0.005)
+
+    def test_follower_detach_mid_backoff(self):
+        pump = self._retry_pump()
+        try:
+            attempts = []
+            release = threading.Event()
+            keeper = Collector(2)
+            detacher = Collector(1)
+            pump.register(
+                self._flaky_call(attempts, release), keeper, query_id="q0"
+            )
+            detach_id = pump.register(
+                self._flaky_call(attempts, release), detacher, query_id="q1"
+            )
+            pump.register(
+                self._flaky_call(attempts, release), keeper, query_id="q2"
+            )
+            self._wait_for_backoff(pump)
+            pump.cancel(detach_id)  # detach while the leader sleeps
+            release.set()
+            assert keeper.done.wait(5)
+            pump.quiesce()
+
+            snap = pump.stats.snapshot()
+            # The detach neither restarted the task nor re-counted retries.
+            assert len(attempts) == 2
+            assert snap["retries"] == 1
+            assert snap["completed"] == 2
+            assert snap["cancelled"] == 1
+            assert snap["failed"] == 0
+            assert snap["queued"] == 0
+            assert not detacher.results
+            assert all(
+                rows == [{"count": 7}] and error is None
+                for rows, error in keeper.results.values()
+            )
+            # The flight fully retired: no stranded members or futures.
+            assert pump._flights == {}
+            assert pump._members == {}
+            assert pump._futures == {}
+        finally:
+            pump.shutdown()
+
+    def test_anchor_detach_mid_backoff_keeps_attribution(self):
+        """The anchor leaving mid-backoff hands the flight to survivors
+        and later retry events still carry the anchor's query id (the
+        timing record is captured at launch, not re-looked-up)."""
+        pump = self._retry_pump()
+        try:
+            attempts = []
+            release = threading.Event()
+            survivor = Collector(1)
+            leader_seen = Collector(1)
+            leader_id = pump.register(
+                self._flaky_call(attempts, release), leader_seen, query_id="q0"
+            )
+            pump.register(
+                self._flaky_call(attempts, release), survivor, query_id="q1"
+            )
+            self._wait_for_backoff(pump)
+            pump.cancel(leader_id)  # the anchor abandons its own flight
+            release.set()
+            assert survivor.done.wait(5)
+            pump.quiesce()
+
+            assert len(attempts) == 2
+            assert not leader_seen.results
+            ((rows, error),) = survivor.results.values()
+            assert rows == [{"count": 7}] and error is None
+            from repro.obs.trace import CALL_RETRY
+
+            retry_events = events_named(pump.tracer, CALL_RETRY)
+            assert len(retry_events) == 1
+            assert retry_events[0].query_id == "q0"  # not None
+            assert pump._flights == {} and pump._members == {}
+        finally:
+            pump.shutdown()
+
+    def test_settle_tolerates_lost_cancel_race(self):
+        """White-box: ``_settle_member_future`` must swallow the
+        InvalidStateError from a future cancelled between the ``done()``
+        check and ``set_result`` (the race the fan-out loop can lose)."""
+        import concurrent.futures
+
+        from repro.asynciter.pump import _settle_member_future
+
+        class RacyFuture(concurrent.futures.Future):
+            # Report "not done" even after cancellation, simulating the
+            # member's cancel landing just after the caller's check.
+            def done(self):
+                return False
+
+        racy = RacyFuture()
+        racy.cancel()
+        _settle_member_future(racy, ([{"count": 1}], None))  # must not raise
+
+        settled = concurrent.futures.Future()
+        _settle_member_future(settled, "outcome")
+        assert settled.result(timeout=0) == "outcome"
+        # Settling again (or settling None) is a no-op, not an error.
+        _settle_member_future(settled, "other")
+        assert settled.result(timeout=0) == "outcome"
+        _settle_member_future(None, "ignored")
