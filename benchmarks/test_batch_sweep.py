@@ -16,6 +16,8 @@ the default batch size beats the degenerate one by >= 1.3x on the local
 micro-benchmark.  Results land in ``benchmarks/results/batch_sweep.txt``.
 """
 
+import json
+
 import pytest
 
 from conftest import results_path
@@ -146,6 +148,23 @@ def test_batch_sweep_summary(benchmark):
     )
     with open(results_path("batch_sweep.txt"), "w", encoding="utf-8") as f:
         f.write("\n".join(lines) + "\n")
+    # Machine-readable twin of the text table, consumed by
+    # benchmarks/leaderboard.py when it assembles BENCH_leaderboard.json.
+    report = {
+        "benchmark": "batch_sweep",
+        "local_rows_per_sec": {
+            str(b): round(_LOCAL[b], 1) for b in BATCH_SIZES if b in _LOCAL
+        },
+        "web_seconds": {
+            str(b): round(_WEB[b][0], 6) for b in BATCH_SIZES if b in _WEB
+        },
+        "web_overlap": {
+            str(b): _WEB[b][1] for b in BATCH_SIZES if b in _WEB
+        },
+        "local_speedup_default_vs_1": round(speedup, 4),
+    }
+    with open(results_path("BENCH_batch_sweep.json"), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
     benchmark.extra_info["local_speedup_default_vs_1"] = round(speedup, 2)
     # The tentpole's headline: the default batch size must clearly beat
     # row-at-a-time on the local scan->filter->join micro-benchmark.

@@ -16,6 +16,7 @@ Results land in ``benchmarks/results/cache_sweep.txt`` (uploaded as a CI
 artifact).
 """
 
+import json
 import time
 
 import pytest
@@ -118,6 +119,30 @@ def test_write_sweep_artifact():
     body = "\n".join(lines) + "\n"
     with open(results_path("cache_sweep.txt"), "w") as f:
         f.write(body)
+    # Machine-readable twin for benchmarks/leaderboard.py.
+    report = {
+        "benchmark": "cache_sweep",
+        "curve": {
+            str(r): {
+                "hit_ratio": round(_CURVE[r][0], 6),
+                "uncached_seconds": round(_CURVE[r][1], 6),
+                "cached_seconds": round(_CURVE[r][2], 6),
+                "speedup": round(_CURVE[r][3], 4),
+            }
+            for r in REPEAT_COUNTS
+        },
+        "warm": {
+            tier: {
+                "cold_seconds": round(_WARM[tier][0], 6),
+                "warm_seconds": round(_WARM[tier][1], 6),
+                "speedup": round(_WARM[tier][2], 4),
+                "hit_ratio": round(_WARM[tier][3], 6),
+            }
+            for tier in TIERS
+        },
+    }
+    with open(results_path("BENCH_cache_sweep.json"), "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
     print()
     print(body)
     # Monotone sanity: more repeats -> higher hit ratio, and the curve's

@@ -42,7 +42,10 @@ HELP = """Statements end with ';'.  Dot-commands:
                      (default physical)
   .profile <query>   run with per-operator instrumentation + trace
   .stats             pump / engine / cache statistics
-  .metrics           metrics-registry snapshot (latency percentiles)
+  .metrics [--prom]  metrics-registry snapshot (latency percentiles);
+                     --prom prints Prometheus text exposition instead
+  .slo               per-tenant SLO status (serve.slo.* counters)
+  .recalibrate       re-price the cost model from the live trace/metrics
   .quit              exit
 """
 
@@ -74,6 +77,7 @@ def build_engine(args):
         on_error=on_error,
         obs=obs,
         batch_size=getattr(args, "batch_size", None),
+        calibration=getattr(args, "calibration", None),
     )
 
 
@@ -244,6 +248,20 @@ def main(argv=None):
         action="store_true",
         help="print the metrics snapshot (percentile latencies) on exit",
     )
+    observability.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="format for the --metrics dump: the JSON snapshot (default) "
+        "or Prometheus text exposition",
+    )
+    observability.add_argument(
+        "--calibration",
+        metavar="PROFILE",
+        default=None,
+        help="load a persisted calibration profile (JSON written by "
+        "CalibrationProfile.save) and price plans from measured figures",
+    )
     args = parser.parse_args(argv)
 
     engine = build_engine(args)
@@ -294,7 +312,10 @@ def _finish_observability(engine, args):
         )
     if getattr(args, "metrics", False):
         engine.pump.quiesce()
-        print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
+        if getattr(args, "metrics_format", "json") == "prom":
+            print(engine.metrics.to_prometheus(), end="")
+        else:
+            print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
 
 
 def _dot_command(engine, line, mode):
@@ -359,7 +380,33 @@ def _dot_command(engine, line, mode):
                 )
                 print(line)
     elif command == ".metrics":
-        print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
+        if argument.strip() in ("--prom", "prom"):
+            print(engine.metrics.to_prometheus(), end="")
+        else:
+            print(json.dumps(engine.metrics_snapshot(), indent=1, sort_keys=True))
+    elif command == ".slo":
+        from repro.serve.slo import slo_counters_view
+
+        view = slo_counters_view(engine.metrics)
+        if not view:
+            print("(no SLO activity recorded)")
+        for tenant, stats in view.items():
+            line = "  {}: met {}/{}".format(
+                tenant, stats["met"], stats["total"]
+            )
+            if "met_fraction" in stats:
+                line += " ({:.1%})".format(stats["met_fraction"])
+            if "burn" in stats:
+                line += "  burn {:.2f}x".format(stats["burn"])
+            print(line)
+    elif command == ".recalibrate":
+        applied, profile, reason = engine.recalibrate()
+        print(
+            "calibration {}: {}".format(
+                "applied" if applied else "rejected ({})".format(reason),
+                profile.summary(),
+            )
+        )
     else:
         print("unknown command {!r}; try .help".format(command))
     return mode
@@ -384,7 +431,11 @@ def _run_statement(engine, statement, mode, waterfall=False):
     if waterfall and tracer is not None:
         engine.pump.quiesce()
         # Only this statement's events (the ring may hold older queries).
-        print(render_waterfall(tracer.events()[events_before:]))
+        print(
+            render_waterfall(
+                tracer.events()[events_before:], dropped=tracer.dropped
+            )
+        )
     return 0
 
 

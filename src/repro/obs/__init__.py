@@ -11,8 +11,13 @@ Three layers, one bundle:
   and end-to-end latency per destination); the pump's statistics are a
   view over it.
 - exporters — Chrome-trace/Perfetto JSON (one track per destination
-  slot, so overlap is visible geometry), a CLI waterfall, and JSON
-  metrics dumps, plus a tiny schema checker for CI.
+  slot, so overlap is visible geometry), a CLI waterfall, Prometheus
+  text exposition, and JSON metrics dumps, plus tiny schema checkers
+  for CI.
+- :class:`~repro.obs.calibration.CalibrationProfile` — the feedback
+  loop: measured per-destination latency/fan-out/concurrency plus cache
+  hit ratio, distilled from the tracer and registry, persisted as
+  validated JSON, and fed back into the planner's cost model.
 
 :class:`Observability` is the bundle an engine threads through its
 components; ``Observability.disabled()`` (the default) costs one ``is
@@ -20,6 +25,13 @@ None`` check per would-be event.
 """
 
 from repro.obs.analysis import destination_latencies, overlap_factor, request_table
+from repro.obs.calibration import (
+    CalibrationPolicy,
+    CalibrationProfile,
+    DestinationCalibration,
+    assert_valid_profile,
+    validate_profile,
+)
 from repro.obs.export import (
     metrics_json,
     render_waterfall,
@@ -76,11 +88,15 @@ class Observability:
 
 
 __all__ = [
+    "CalibrationPolicy",
+    "CalibrationProfile",
+    "DestinationCalibration",
     "MetricsRegistry",
     "Observability",
     "TraceEvent",
     "Tracer",
     "assert_valid_chrome_trace",
+    "assert_valid_profile",
     "destination_latencies",
     "enabled_tracer",
     "metrics_json",
@@ -89,6 +105,7 @@ __all__ = [
     "request_table",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_profile",
     "validate_trace_events",
     "write_chrome_trace",
     "write_metrics",

@@ -204,13 +204,18 @@ def write_chrome_trace(path, events, origin=None):
 # -- waterfall ----------------------------------------------------------------
 
 
-def render_waterfall(events, width=64, query_id=None):
+def render_waterfall(events, width=64, query_id=None, dropped=0):
     """ASCII timeline: one line per request, in registration order.
 
     ``·`` marks queue wait (registered, awaiting a concurrency slot),
     ``█`` marks in-service time; the summary column gives the millisecond
     split.  Unissued requests (breaker-rejected, cancelled in queue)
     render as ``·`` only, flagged with their outcome.
+
+    *dropped* is the tracer's ring-eviction count
+    (:attr:`~repro.obs.trace.Tracer.dropped`); non-zero flags the header
+    with an INCOMPLETE warning, since evicted events mean missing rows
+    or truncated lifecycles in this picture.
     """
     records = [
         r
@@ -232,13 +237,14 @@ def render_waterfall(events, width=64, query_id=None):
         return int(round((ts - t0) * scale))
 
     label_width = max(len(str(r.destination or "?")) for r in records) + 6
-    lines = [
-        "waterfall: {} request(s) over {:.1f} ms ({} per column)".format(
-            len(records),
-            span * 1e3,
-            "{:.2f} ms".format(span * 1e3 / max(width - 1, 1)),
-        )
-    ]
+    header = "waterfall: {} request(s) over {:.1f} ms ({} per column)".format(
+        len(records),
+        span * 1e3,
+        "{:.2f} ms".format(span * 1e3 / max(width - 1, 1)),
+    )
+    if dropped:
+        header += "  [INCOMPLETE: ring dropped {} event(s)]".format(dropped)
+    lines = [header]
     for record in records:
         bar = [" "] * width
         start = col(record.registered_at)

@@ -238,6 +238,22 @@ class MetricsRegistry:
         counter = self._counters.get((name, _labels_key(labels)))
         return counter.value if counter is not None else 0
 
+    # -- typed iteration (calibration / exposition) ---------------------------
+
+    def counters_named(self, name):
+        """All counters called *name*, across label sets."""
+        with self._lock:
+            return [c for (n, _), c in self._counters.items() if n == name]
+
+    def gauges_named(self, name):
+        with self._lock:
+            return [g for (n, _), g in self._gauges.items() if n == name]
+
+    def histograms_named(self, name):
+        """All histograms called *name*, across label sets."""
+        with self._lock:
+            return [h for (n, _), h in self._histograms.items() if n == name]
+
     # -- export ---------------------------------------------------------------
 
     def snapshot(self):
@@ -265,7 +281,121 @@ class MetricsRegistry:
             "histograms": dict(sorted(histograms.items())),
         }
 
+    def to_prometheus(self):
+        """The registry in Prometheus text exposition format (version 0.0.4).
+
+        Metric names are sanitized (``request.service_seconds`` →
+        ``request_service_seconds``); histograms render the standard
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``
+        (the overflow bucket becomes ``le="+Inf"``), and gauges add a
+        ``_max`` companion series for their high-water mark.  The output
+        is deterministic: families and label sets sort lexicographically.
+        """
+        with self._lock:
+            counters = sorted(
+                self._counters.items(), key=lambda kv: (kv[0][0], kv[0][1])
+            )
+            gauges = sorted(
+                self._gauges.items(), key=lambda kv: (kv[0][0], kv[0][1])
+            )
+            histograms = sorted(
+                self._histograms.items(), key=lambda kv: (kv[0][0], kv[0][1])
+            )
+        lines = []
+
+        def family(name, kind):
+            lines.append("# TYPE {} {}".format(name, kind))
+
+        seen_types = set()
+        for (name, _), counter in counters:
+            metric = _prom_name(name)
+            if metric not in seen_types:
+                seen_types.add(metric)
+                family(metric, "counter")
+            lines.append(
+                "{}{} {}".format(
+                    metric, _prom_labels(counter.labels), _prom_value(counter.value)
+                )
+            )
+        for (name, _), gauge in gauges:
+            metric = _prom_name(name)
+            if metric not in seen_types:
+                seen_types.add(metric)
+                family(metric, "gauge")
+                family(metric + "_max", "gauge")
+            labels = _prom_labels(gauge.labels)
+            lines.append("{}{} {}".format(metric, labels, _prom_value(gauge.value)))
+            lines.append(
+                "{}_max{} {}".format(metric, labels, _prom_value(gauge.max_value))
+            )
+        for (name, _), histogram in histograms:
+            metric = _prom_name(name)
+            if metric not in seen_types:
+                seen_types.add(metric)
+                family(metric, "histogram")
+            with histogram._lock:
+                edges = list(histogram.buckets)
+                bucket_counts = list(histogram.counts)
+                count = histogram.count
+                total = histogram.total
+            cumulative = 0
+            for edge, in_bucket in zip(edges, bucket_counts):
+                cumulative += in_bucket
+                lines.append(
+                    "{}_bucket{} {}".format(
+                        metric,
+                        _prom_labels(histogram.labels, le=_prom_value(edge)),
+                        cumulative,
+                    )
+                )
+            lines.append(
+                "{}_bucket{} {}".format(
+                    metric, _prom_labels(histogram.labels, le="+Inf"), count
+                )
+            )
+            labels = _prom_labels(histogram.labels)
+            lines.append("{}_sum{} {}".format(metric, labels, _prom_value(total)))
+            lines.append("{}_count{} {}".format(metric, labels, count))
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def __repr__(self):
         return "MetricsRegistry({} counters, {} gauges, {} histograms)".format(
             len(self._counters), len(self._gauges), len(self._histograms)
         )
+
+
+def _prom_name(name):
+    """Sanitize a dotted metric name for Prometheus exposition."""
+    out = []
+    for index, char in enumerate(name):
+        if char.isalnum() or char == "_" or (char == ":" and index):
+            out.append(char)
+        else:
+            out.append("_")
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _prom_labels(labels, **extra):
+    """Render a label dict (plus overrides) as ``{k="v",...}`` or ``""``."""
+    merged = dict(labels or {})
+    merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        text = str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        parts.append('{}="{}"'.format(_prom_name(str(key)), text))
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value):
+    """Numbers without float noise: integral floats render as integers."""
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)

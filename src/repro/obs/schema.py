@@ -53,6 +53,7 @@ KNOWN_EVENT_NAMES = frozenset(
         _trace.SERVE_START,
         _trace.SERVE_FINISH,
         _trace.SERVE_CANCEL,
+        _trace.SERVE_SLO_VIOLATION,
     }
 )
 

@@ -94,6 +94,11 @@ SERVE_START = "serve.start"
 SERVE_FINISH = "serve.finish"
 SERVE_CANCEL = "serve.cancel"
 
+#: SLO accounting: emitted when a served query misses its tenant's
+#: latency objective (args carry the objective, the observed e2e, and
+#: the terminal outcome the miss was charged to).
+SERVE_SLO_VIOLATION = "serve.slo_violation"
+
 #: Names that settle a call (used by the analyzers).
 CALL_SETTLED = (CALL_COMPLETE, CALL_CANCEL, CALL_FAIL)
 

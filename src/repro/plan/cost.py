@@ -135,7 +135,7 @@ class PlanEstimate:
 
     __slots__ = (
         "rows", "local_rows", "calls", "waves", "patched_values", "issued",
-        "column_stats",
+        "wave_seconds", "column_stats",
     )
 
     def __init__(
@@ -146,6 +146,7 @@ class PlanEstimate:
         waves=0.0,
         patched_values=0.0,
         issued=0.0,
+        wave_seconds=0.0,
         column_stats=None,
     ):
         self.rows = rows
@@ -154,6 +155,9 @@ class PlanEstimate:
         self.waves = waves  # blocking round-trip waves
         self.patched_values = patched_values
         self.issued = issued  # calls already folded into waves (ReqSync)
+        #: Wave latency priced per destination (``waves * latency_mean``
+        #: when latencies are uniform; diverges under calibration).
+        self.wave_seconds = wave_seconds
         #: row index -> ColumnStats (from ANALYZE), where still traceable
         self.column_stats = dict(column_stats or {})
 
@@ -221,17 +225,133 @@ class CostModel:
         #: the seed model.
         self.cache = cache
         self.expected_hit_ratio = expected_hit_ratio
+        #: Calibration state: a :class:`repro.obs.calibration.
+        #: CalibrationProfile` attached via :meth:`apply_profile` (duck
+        #: typed — anything with the same read surface works).  Empty
+        #: maps/None keep every estimate bit-identical to the static
+        #: model.
+        self.profile = None
+        self.latency_by_destination = {}
+        self.fanout_by_destination = {}
+        self._static = None  # pre-calibration twin, for comparisons
+
+    @classmethod
+    def from_profile(cls, profile, latency_mean=0.05, **kwargs):
+        """A model whose figures come from *profile* (measured, not guessed).
+
+        *latency_mean* and **kwargs** seed the static base (they remain
+        the fallbacks for destinations the profile never observed); the
+        profile then overrides everything it measured.
+        """
+        return cls(latency_mean, **kwargs).apply_profile(profile)
+
+    def apply_profile(self, profile, use_observed_concurrency=False):
+        """Re-price this model from *profile*; returns ``self``.
+
+        Overrides ``latency_mean`` (sample-weighted across destinations)
+        plus the per-destination latency and fan-out tables, and attaches
+        the profile so :meth:`miss_fraction` can use the *observed* cache
+        hit ratio.  With *use_observed_concurrency*, destinations without
+        a configured pump limit adopt the trace-observed peak overlap as
+        their effective width — off by default, since a low observed
+        overlap may just mean light traffic, not a real ceiling.
+
+        The first application snapshots the static figures, so
+        :meth:`uncalibrated` (and explain's calibrated-vs-static column)
+        can always compare against the pre-profile model.
+        """
+        if self._static is None:
+            self._static = self.clone()
+        mean = profile.latency_mean()
+        if mean is not None:
+            self.latency_mean = mean
+        self.latency_by_destination = {
+            name: calibration.latency_mean
+            for name, calibration in profile.destinations.items()
+            if calibration.latency_mean is not None
+        }
+        self.fanout_by_destination = {
+            name: calibration.fanout
+            for name, calibration in profile.destinations.items()
+            if calibration.fanout is not None
+        }
+        if use_observed_concurrency:
+            for name, calibration in profile.destinations.items():
+                if (
+                    calibration.concurrency
+                    and calibration.concurrency >= 1
+                    and name not in self.per_destination_limits
+                ):
+                    self.per_destination_limits[name] = int(calibration.concurrency)
+        self.profile = profile
+        return self
+
+    @property
+    def calibrated(self):
+        return self.profile is not None
+
+    def clone(self):
+        """An independent copy (shares the live cache reference only)."""
+        twin = CostModel(
+            self.latency_mean,
+            per_destination_limits=self.per_destination_limits,
+            global_limit=self.global_limit,
+            cpu_per_row=self.cpu_per_row,
+            cpu_per_patch=self.cpu_per_patch,
+            call_overhead=self.call_overhead,
+            batch_size=self.batch_size,
+            cache=self.cache,
+            expected_hit_ratio=self.expected_hit_ratio,
+        )
+        twin.profile = self.profile
+        twin.latency_by_destination = dict(self.latency_by_destination)
+        twin.fanout_by_destination = dict(self.fanout_by_destination)
+        return twin
+
+    def uncalibrated(self):
+        """The static model from before any profile was applied.
+
+        Returns ``self`` if never calibrated — callers can always diff
+        ``model.seconds(plan)`` against ``model.uncalibrated().seconds(plan)``.
+        """
+        return self._static if self._static is not None else self
+
+    def destination_latency(self, destination):
+        """Expected per-request latency for *destination* (calibrated or mean)."""
+        return self.latency_by_destination.get(destination, self.latency_mean)
+
+    def _weighted_latency(self, calls):
+        """Call-count-weighted mean latency across a calls dict."""
+        total = sum(calls.values())
+        if not total:
+            return self.latency_mean
+        return (
+            sum(
+                count * self.destination_latency(destination)
+                for destination, count in calls.items()
+            )
+            / total
+        )
 
     def miss_fraction(self):
         """Expected fraction of external calls that actually hit the network.
 
         ``1.0`` without a cache signal; otherwise ``1 - hit_ratio``,
-        clamped to [0, 1].  The live estimate deliberately lags reality
-        (it is the cache's *observed* ratio, not the workload's future
-        one) — good enough to steer sync-vs-async arbitration and wave
-        pricing, and it converges as the cache warms.
+        clamped to [0, 1].  Precedence of the hit-ratio source:
+
+        1. explicit ``expected_hit_ratio`` (what-if override wins),
+        2. an attached calibration profile's *observed* ratio,
+        3. a live cache's current ``hit_ratio()``,
+        4. none of the above — price every call at full latency (1.0).
+
+        The live estimate deliberately lags reality (it is the cache's
+        *observed* ratio, not the workload's future one) — good enough
+        to steer sync-vs-async arbitration and wave pricing, and it
+        converges as the cache warms.
         """
         ratio = self.expected_hit_ratio
+        if ratio is None and self.profile is not None:
+            ratio = self.profile.cache_hit_ratio
         if ratio is None and self.cache is not None:
             hit_ratio = getattr(self.cache, "hit_ratio", None)
             if callable(hit_ratio):
@@ -262,9 +382,18 @@ class CostModel:
         return self._walk(plan)
 
     def seconds(self, plan):
-        """Predicted wall-clock seconds for running *plan* to completion."""
+        """Predicted wall-clock seconds for running *plan* to completion.
+
+        Uncalibrated, wave latency is uniform (``waves * latency_mean``
+        — seed-identical); with per-destination calibration the walk's
+        ``wave_seconds`` accumulator prices each wave at its own
+        destination's measured latency.
+        """
         estimate = self._walk(plan)
-        network = estimate.waves * self.latency_mean
+        if self.latency_by_destination:
+            network = estimate.wave_seconds
+        else:
+            network = estimate.waves * self.latency_mean
         network += (estimate.total_calls() + estimate.issued) * self.call_overhead
         local = (
             estimate.local_rows * self.cpu_per_row * self.batch_discount()
@@ -346,6 +475,7 @@ class CostModel:
                 waves=child.waves,
                 patched_values=child.patched_values,
                 issued=child.issued,
+                wave_seconds=child.wave_seconds,
                 column_stats=child.column_stats,
             )
         if isinstance(op, (Project, Limit)):
@@ -370,6 +500,7 @@ class CostModel:
                 waves=child.waves,
                 patched_values=child.patched_values,
                 issued=child.issued,
+                wave_seconds=child.wave_seconds,
                 column_stats=column_stats,
             )
         if isinstance(op, Sort):
@@ -382,6 +513,7 @@ class CostModel:
                 waves=child.waves,
                 patched_values=child.patched_values,
                 issued=child.issued,
+                wave_seconds=child.wave_seconds,
                 column_stats=child.column_stats,
             )
         if isinstance(op, Distinct):
@@ -393,6 +525,7 @@ class CostModel:
                 waves=child.waves,
                 patched_values=child.patched_values,
                 issued=child.issued,
+                wave_seconds=child.wave_seconds,
             )
         if isinstance(op, Aggregate):
             child = self._walk(op.child)
@@ -423,6 +556,7 @@ class CostModel:
                 waves=child.waves,
                 patched_values=child.patched_values,
                 issued=child.issued,
+                wave_seconds=child.wave_seconds,
             )
         if isinstance(op, UnionAll):
             left, right = self._walk(op.left), self._walk(op.right)
@@ -433,6 +567,7 @@ class CostModel:
                 waves=left.waves + right.waves,
                 patched_values=left.patched_values + right.patched_values,
                 issued=left.issued + right.issued,
+                wave_seconds=left.wave_seconds + right.wave_seconds,
             )
         if isinstance(op, CrossProduct):
             left, right = self._walk(op.left), self._walk(op.right)
@@ -444,6 +579,7 @@ class CostModel:
                 waves=left.waves + right.waves,
                 patched_values=left.patched_values + right.patched_values,
                 issued=left.issued + right.issued,
+                wave_seconds=left.wave_seconds + right.wave_seconds,
                 column_stats=_concat_stats(left, right, len(op.left.schema)),
             )
         if isinstance(op, NestedLoopJoin):
@@ -458,6 +594,7 @@ class CostModel:
                 waves=left.waves + right.waves,
                 patched_values=left.patched_values + right.patched_values,
                 issued=left.issued + right.issued,
+                wave_seconds=left.wave_seconds + right.wave_seconds,
                 column_stats=combined_stats,
             )
         if isinstance(op, DependentJoin):
@@ -484,10 +621,12 @@ class CostModel:
             calls[destination] = calls.get(destination, 0.0) + network_calls
             rows = left.rows * fanout
             waves = left.waves
+            wave_seconds = left.wave_seconds
             if isinstance(scan, EVScan):
                 # Sequential: every (non-cached) call is its own
-                # blocking wave.
+                # blocking wave, priced at its destination's latency.
                 waves += network_calls
+                wave_seconds += network_calls * self.destination_latency(destination)
             return PlanEstimate(
                 rows=rows,
                 local_rows=left.local_rows + rows,
@@ -495,6 +634,7 @@ class CostModel:
                 waves=waves,
                 patched_values=left.patched_values,
                 issued=left.issued,
+                wave_seconds=wave_seconds,
             )
         # Dependent join over a non-external parameterized subplan.
         right = self._walk(inner)
@@ -505,22 +645,38 @@ class CostModel:
             calls=left.merged_calls(right),
             waves=left.waves + right.waves,
             patched_values=left.patched_values + right.patched_values,
+            wave_seconds=left.wave_seconds + right.wave_seconds,
         )
 
     def _walk_reqsync(self, op):
         child = self._walk(op.child)
         # All calls below this ReqSync overlap into one wave, widened by
-        # concurrency limits.
+        # concurrency limits.  ``wave`` is the structural count;
+        # ``wave_latency`` prices the same widths per destination, so a
+        # calibrated slow destination dominates the wave it gates.  With
+        # uniform latencies the two agree: wave_latency == wave * mean.
         wave = 0.0
+        wave_latency = 0.0
         for destination, count in child.calls.items():
             limit = self.per_destination_limits.get(destination)
             width = math.ceil(count / limit) if limit else 1.0
             wave = max(wave, width)
+            wave_latency = max(
+                wave_latency, width * self.destination_latency(destination)
+            )
         total = sum(child.calls.values())
         if self.global_limit and total:
-            wave = max(wave, math.ceil(total / self.global_limit))
+            widened = math.ceil(total / self.global_limit)
+            wave = max(wave, widened)
+            wave_latency = max(
+                wave_latency, widened * self._weighted_latency(child.calls)
+            )
         if child.calls:
             wave = max(wave, 1.0)
+            wave_latency = max(
+                wave_latency,
+                max(self.destination_latency(d) for d in child.calls),
+            )
         # Each buffered tuple's placeholder values get patched once.
         return PlanEstimate(
             rows=child.rows,
@@ -529,6 +685,7 @@ class CostModel:
             waves=child.waves + wave,
             patched_values=child.patched_values + child.rows,
             issued=child.issued + total,
+            wave_seconds=child.wave_seconds + wave_latency,
         )
 
     def _index_selectivity(self, op, column_stats):
@@ -562,10 +719,20 @@ class CostModel:
 
     # -- virtual-table characteristics ---------------------------------------------------
 
-    @staticmethod
-    def _vtable_fanout(instance):
-        """Expected result rows per external call."""
+    def _vtable_fanout(self, instance):
+        """Expected result rows per external call.
+
+        A calibrated per-destination fan-out (mean observed result rows
+        per patched call) overrides the static heuristics; a WebPages
+        rank limit still caps it, since the observed mix may include
+        higher-fanout vtables on the same destination.
+        """
         rank_limit = getattr(instance, "rank_limit", None)
+        calibrated = self.fanout_by_destination.get(self._destination(instance))
+        if calibrated is not None:
+            if rank_limit is not None:
+                return min(float(rank_limit), max(calibrated, 0.0))
+            return max(calibrated, 0.0)
         if rank_limit is not None:
             return max(1.0, rank_limit * 0.8)  # WebPages-style
         fields = instance.result_fields
@@ -589,24 +756,33 @@ def _concat_stats(left, right, left_width):
     return combined
 
 
-def choose_figure7_variant(cost_model, sigs_rows, r_rows):
+def choose_figure7_variant(cost_model, sigs_rows, r_rows, destination=None):
     """Pick the Figure-7 placement the model predicts cheaper.
 
     Variant (a): one wave, patch work ~ 2 * |Sigs| * |R|.
     Variant (b): two waves, patch work ~ |Sigs| * (1 + |R|).
     Returns ``("a"|"b", predicted_a_seconds, predicted_b_seconds)``.
+
+    With *destination* given, the wave is priced at that destination's
+    (possibly calibrated) latency instead of the uniform mean — a
+    measured slow source raises the cost of variant (b)'s second wave
+    and can flip the choice the static constants would make.
     """
+    if destination is not None:
+        latency = cost_model.destination_latency(destination)
+    else:
+        latency = cost_model.latency_mean
     patch_a = 2.0 * sigs_rows * r_rows
     patch_b = sigs_rows * (1.0 + r_rows)
     calls_a = sigs_rows + sigs_rows * r_rows
     calls_b = calls_a
     time_a = (
-        1.0 * cost_model.latency_mean
+        1.0 * latency
         + calls_a * cost_model.call_overhead
         + patch_a * cost_model.cpu_per_patch
     )
     time_b = (
-        2.0 * cost_model.latency_mean
+        2.0 * latency
         + calls_b * cost_model.call_overhead
         + patch_b * cost_model.cpu_per_patch
     )

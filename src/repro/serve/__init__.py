@@ -18,6 +18,7 @@ from repro.serve.admission import (
 from repro.serve.deadline import Deadline
 from repro.serve.scheduler import FairScheduler
 from repro.serve.session import QueryHandle, QueryService, Session
+from repro.serve.slo import render_slo_report, slo_report
 from repro.util.errors import AdmissionRejected, QueryDeadlineExceeded
 
 __all__ = [
@@ -35,4 +36,6 @@ __all__ = [
     "QueryService",
     "Session",
     "TenantPolicy",
+    "render_slo_report",
+    "slo_report",
 ]

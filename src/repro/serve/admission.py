@@ -52,26 +52,55 @@ class TenantPolicy:
     ``max_queued``
         Queue-depth cap; submissions beyond it are shed immediately
         with ``reason="queue_full"``.
+    ``slo_seconds``
+        End-to-end latency objective (submit → settle).  ``None`` (the
+        default) means no SLO accounting for this tenant; set, every
+        settled query counts toward ``serve.slo.{met,violated}`` and the
+        error-budget burn gauge (see DESIGN.md §13).
+    ``slo_target``
+        The fraction of queries expected to meet the objective (the
+        "three nines" in "p99 under 2s"); the complement is the error
+        budget the burn gauge is normalized against.
     """
 
-    __slots__ = ("name", "weight", "max_active", "max_queued")
+    __slots__ = (
+        "name", "weight", "max_active", "max_queued", "slo_seconds",
+        "slo_target",
+    )
 
-    def __init__(self, name, weight=1.0, max_active=None, max_queued=None):
+    def __init__(
+        self,
+        name,
+        weight=1.0,
+        max_active=None,
+        max_queued=None,
+        slo_seconds=None,
+        slo_target=0.99,
+    ):
         if weight <= 0:
             raise ValueError("tenant weight must be positive")
         if max_active is not None and max_active < 1:
             raise ValueError("max_active must be at least 1")
         if max_queued is not None and max_queued < 0:
             raise ValueError("max_queued cannot be negative")
+        if slo_seconds is not None and slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if not 0.0 < slo_target < 1.0:
+            raise ValueError("slo_target must be in (0, 1)")
         self.name = name
         self.weight = float(weight)
         self.max_active = max_active
         self.max_queued = max_queued
+        self.slo_seconds = slo_seconds
+        self.slo_target = float(slo_target)
 
     def __repr__(self):
-        return "TenantPolicy({!r}, weight={}, max_active={}, max_queued={})".format(
+        text = "TenantPolicy({!r}, weight={}, max_active={}, max_queued={}".format(
             self.name, self.weight, self.max_active, self.max_queued
         )
+        if self.slo_seconds is not None:
+            text += ", slo={}s@{}".format(self.slo_seconds, self.slo_target)
+        return text + ")"
 
 
 class _TenantState:
@@ -153,6 +182,13 @@ class AdmissionController:
     def policy_for(self, tenant):
         with self._cond:
             return self._ensure(tenant).policy
+
+    def policies(self):
+        """Snapshot of every registered tenant's policy."""
+        with self._cond:
+            return {
+                tenant: state.policy for tenant, state in self._states.items()
+            }
 
     # -- submit side -----------------------------------------------------------
 

@@ -45,6 +45,7 @@ from repro.serve.admission import (
     SHED_SHUTDOWN,
 )
 from repro.serve.deadline import Deadline
+from repro.serve.slo import record_settlement, slo_report
 from repro.util.errors import AdmissionRejected, QueryDeadlineExceeded
 from repro.util.timing import resolve_clock
 
@@ -214,6 +215,13 @@ class QueryService:
     default_timeout:
         Deadline (seconds) applied to queries submitted without one
         (``None`` = unbounded, still cancellable).
+    calibration:
+        Opt-in :class:`~repro.obs.calibration.CalibrationPolicy`.  When
+        set, the reaper periodically rebuilds a
+        :class:`~repro.obs.calibration.CalibrationProfile` from the
+        engine's live tracer/metrics and re-prices the shared cost
+        model — gated by the policy's sample floor and incompleteness
+        rule (see :meth:`maybe_recalibrate`).
     """
 
     def __init__(
@@ -224,6 +232,7 @@ class QueryService:
         max_queued=256,
         default_timeout=None,
         name="wsq-serve",
+        calibration=None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -235,6 +244,9 @@ class QueryService:
             policies=tenants, max_queued=max_queued, clock=self.clock
         )
         self.max_workers = max_workers
+        self.calibration = calibration
+        self.last_profile = None
+        self._last_calibration_attempt = None
         self._lock = threading.Lock()
         self._workers = []
         self._started = False
@@ -350,7 +362,13 @@ class QueryService:
                 )
 
     def _reaper_loop(self):
-        """Periodically shed queued tickets whose deadline already died."""
+        """Periodically shed queued tickets whose deadline already died.
+
+        The sweep doubles as the recalibration heartbeat: with a
+        :class:`CalibrationPolicy` attached, each pass gives
+        :meth:`maybe_recalibrate` a chance to re-price the cost model
+        from live traffic (the policy's interval does the pacing).
+        """
         admission = self.admission
         while True:
             for tenant, handle, verdict in admission.reap_expired():
@@ -360,9 +378,48 @@ class QueryService:
                     self._settle_shed(
                         handle, admission.shed_verdict(tenant, handle)
                     )
+            if self.calibration is not None:
+                self.maybe_recalibrate()
             if admission.closed:
                 return
             time.sleep(REAP_INTERVAL)
+
+    # -- calibration -----------------------------------------------------------
+
+    def maybe_recalibrate(self, force=False):
+        """Recalibrate the engine's cost model from live traffic.
+
+        Respects the attached :class:`CalibrationPolicy`'s interval
+        (*force* skips the pacing but not the sample/completeness gate)
+        and records the attempt either way:
+        ``serve.recalibrate.applied`` / ``serve.recalibrate.rejected``
+        counters plus a ``serve.calibration.samples`` gauge.  Returns
+        True when a new profile was applied.  Safe to call directly —
+        deterministic tests on a :class:`~repro.util.timing.VirtualClock`
+        drive this instead of waiting on the reaper's wall-clock sweep.
+        """
+        policy = self.calibration
+        if policy is None:
+            return False
+        now = self.clock.now()
+        with self._lock:
+            last = self._last_calibration_attempt
+            if (
+                not force
+                and last is not None
+                and now - last < policy.interval_seconds
+            ):
+                return False
+            self._last_calibration_attempt = now
+        applied, profile, reason = self.engine.recalibrate(policy=policy)
+        metrics = self.engine.metrics
+        if applied:
+            self.last_profile = profile
+            metrics.inc("serve.recalibrate.applied")
+            metrics.gauge("serve.calibration.samples").set(profile.samples)
+        else:
+            metrics.inc("serve.recalibrate.rejected")
+        return applied
 
     def _run_admitted(self, tenant, handle):
         metrics = self.engine.metrics
@@ -399,6 +456,19 @@ class QueryService:
             metrics.observe(
                 "serve.e2e_seconds", finished_at - handle.submitted_at,
                 tenant=tenant,
+            )
+        if outcome != ABANDONED:
+            # SLO accounting: completions (timely or late), failures,
+            # and expiries all settle against the objective; a client
+            # cancel is the caller's choice and charges nothing.
+            record_settlement(
+                metrics,
+                self.engine.tracer,
+                self.admission.policy_for(tenant),
+                tenant,
+                outcome,
+                finished_at - handle.submitted_at,
+                completed=outcome == COMPLETED,
             )
         if outcome == ABANDONED:
             self._emit(SERVE_CANCEL, tenant=tenant, where="running")
@@ -440,6 +510,17 @@ class QueryService:
             reason=exc.reason,
             retry_after=exc.retry_after,
         )
+        # A shed is an answer the service failed to give in time — it
+        # charges the tenant's error budget like a late completion.
+        record_settlement(
+            metrics,
+            self.engine.tracer,
+            self.admission.policy_for(handle.tenant),
+            handle.tenant,
+            SHED,
+            handle.finished_at - handle.submitted_at,
+            completed=False,
+        )
         handle._settle_exception(exc)
 
     def _settle_abandoned(self, handle):
@@ -473,9 +554,19 @@ class QueryService:
         if tracer is not None:
             tracer.emit(name, **args)
 
+    def slo_report(self):
+        """Per-tenant SLO status (see :func:`repro.serve.slo.slo_report`)."""
+        return slo_report(self.engine.metrics, self.admission.policies())
+
     def stats(self):
         """Admission + pump accounting, one dict."""
-        return {
+        payload = {
             "admission": self.admission.stats(),
             "pump": self.engine.pump.snapshot(),
         }
+        slo = self.slo_report()
+        if slo:
+            payload["slo"] = slo
+        if self.last_profile is not None:
+            payload["calibration"] = self.last_profile.to_dict()
+        return payload

@@ -1,0 +1,167 @@
+"""Per-tenant SLO accounting over the shared metrics registry.
+
+A :class:`~repro.serve.admission.TenantPolicy` with ``slo_seconds`` set
+declares a latency objective; this module is the bookkeeping the
+service runs at settlement time and the report the ``.slo`` CLI view
+renders.  Everything lives in the engine's
+:class:`~repro.obs.metrics.MetricsRegistry` under the validated naming
+scheme, so the SLO state survives in any metrics export:
+
+- ``serve.slo.met{tenant=}`` / ``serve.slo.violated{tenant=}`` —
+  counters over settled queries;
+- ``serve.slo.burn{tenant=}`` — the error-budget burn gauge:
+  ``violated_fraction / (1 - slo_target)``.  1.0 means the budget is
+  being consumed exactly as provisioned; above 1.0 the tenant is
+  burning budget faster than its target allows.
+
+Counting rules (what charges the budget):
+
+- a query that **completes** within the objective is *met*;
+- a completion past the objective, an execution **failure**, a
+  **deadline expiry**, and a **shed** all count as *violated* — from
+  the client's perspective each is a request the service failed to
+  answer in time;
+- a **client-cancelled** query is excluded entirely: the caller walked
+  away, so neither side of the ratio should move.
+"""
+
+from repro.obs.trace import SERVE_SLO_VIOLATION
+
+#: Metric names (one place, so exports and tests agree).
+SLO_MET = "serve.slo.met"
+SLO_VIOLATED = "serve.slo.violated"
+SLO_BURN = "serve.slo.burn"
+
+
+def record_settlement(metrics, tracer, policy, tenant, outcome, e2e_seconds,
+                      completed):
+    """Charge one settled query against *tenant*'s SLO (if it has one).
+
+    *outcome* is the service's terminal status string, *e2e_seconds* the
+    submit→settle latency, *completed* whether rows were delivered.
+    Returns ``True``/``False`` for met/violated, ``None`` when the
+    tenant has no SLO configured.
+    """
+    if policy is None or policy.slo_seconds is None:
+        return None
+    met = bool(completed) and e2e_seconds <= policy.slo_seconds
+    metrics.inc(SLO_MET if met else SLO_VIOLATED, tenant=tenant)
+    _update_burn(metrics, policy, tenant)
+    if not met and tracer is not None:
+        tracer.emit(
+            SERVE_SLO_VIOLATION,
+            tenant=tenant,
+            objective_s=policy.slo_seconds,
+            e2e_s=e2e_seconds,
+            outcome=outcome,
+        )
+    return met
+
+
+def _update_burn(metrics, policy, tenant):
+    met = metrics.counter_value(SLO_MET, tenant=tenant)
+    violated = metrics.counter_value(SLO_VIOLATED, tenant=tenant)
+    total = met + violated
+    if not total:
+        return
+    budget = 1.0 - policy.slo_target
+    burn = (violated / total) / budget if budget > 0 else float("inf")
+    metrics.gauge(SLO_BURN, tenant=tenant).set(burn)
+
+
+def slo_report(metrics, policies):
+    """Per-tenant SLO status as a JSON-able dict.
+
+    *policies* maps tenant name → :class:`TenantPolicy` (tenants without
+    ``slo_seconds`` are skipped).  For each SLO'd tenant: the objective,
+    target, met/violated counts, the achieved fraction, and the burn
+    rate — the same figures the gauges carry, recomputed exactly from
+    the counters so the report is consistent even mid-update.
+    """
+    report = {}
+    for tenant, policy in sorted(policies.items(), key=lambda kv: str(kv[0])):
+        if policy.slo_seconds is None:
+            continue
+        met = metrics.counter_value(SLO_MET, tenant=tenant)
+        violated = metrics.counter_value(SLO_VIOLATED, tenant=tenant)
+        total = met + violated
+        budget = 1.0 - policy.slo_target
+        entry = {
+            "objective_seconds": policy.slo_seconds,
+            "target": policy.slo_target,
+            "met": met,
+            "violated": violated,
+            "total": total,
+        }
+        if total:
+            fraction = met / total
+            entry["met_fraction"] = round(fraction, 6)
+            entry["burn"] = (
+                round((violated / total) / budget, 6)
+                if budget > 0
+                else float("inf")
+            )
+            entry["budget_remaining"] = round(
+                1.0 - (violated / total) / budget, 6
+            ) if budget > 0 else 0.0
+        report[str(tenant)] = entry
+    return report
+
+
+def slo_counters_view(metrics):
+    """SLO status reconstructed from the registry alone (no policies).
+
+    The ``.slo`` CLI view works off whatever engine it is attached to —
+    it may not hold the :class:`TenantPolicy` objects, but the
+    ``serve.slo.*`` counters and burn gauges carry enough to render the
+    per-tenant picture.  Returns ``tenant -> {met, violated, total,
+    met_fraction, burn}`` (``burn`` only if the gauge exists).
+    """
+    tenants = {}
+
+    def entry(labels):
+        return tenants.setdefault(labels.get("tenant", "?"), {})
+
+    for counter in metrics.counters_named(SLO_MET):
+        entry(counter.labels)["met"] = counter.value
+    for counter in metrics.counters_named(SLO_VIOLATED):
+        entry(counter.labels)["violated"] = counter.value
+    for gauge in metrics.gauges_named(SLO_BURN):
+        entry(gauge.labels)["burn"] = gauge.value
+    for stats in tenants.values():
+        met = stats.setdefault("met", 0)
+        violated = stats.setdefault("violated", 0)
+        stats["total"] = met + violated
+        if stats["total"]:
+            stats["met_fraction"] = round(met / stats["total"], 6)
+    return dict(sorted(tenants.items()))
+
+
+def render_slo_report(report):
+    """The report as aligned text for the ``.slo`` CLI view."""
+    if not report:
+        return "(no tenants with an SLO configured)"
+    lines = []
+    name_width = max(len(name) for name in report)
+    for name, entry in report.items():
+        if not entry["total"]:
+            lines.append(
+                "{:<{w}}  objective {:.3f}s @ {:.1%}  (no settled queries yet)"
+                .format(name, entry["objective_seconds"], entry["target"],
+                        w=name_width)
+            )
+            continue
+        lines.append(
+            "{:<{w}}  objective {:.3f}s @ {:.1%}  met {}/{} ({:.1%})  "
+            "burn {:.2f}x".format(
+                name,
+                entry["objective_seconds"],
+                entry["target"],
+                entry["met"],
+                entry["total"],
+                entry["met_fraction"],
+                entry["burn"],
+                w=name_width,
+            )
+        )
+    return "\n".join(lines)

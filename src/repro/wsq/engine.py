@@ -85,6 +85,7 @@ class WsqEngine:
         obs=None,
         batch_size=None,
         single_flight=None,
+        calibration=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
@@ -141,6 +142,16 @@ class WsqEngine:
                 attach(metrics=obs.metrics, tracer=obs.tracer)
         self.dedup_calls = dedup_calls
         self.cost_model = cost_model
+        # Calibration: a CalibrationProfile (or a path to a persisted
+        # one) re-prices the cost model from *measured* figures at
+        # construction; ``recalibrate()`` does the same from live
+        # observability at any later point.
+        if calibration is not None:
+            from repro.obs.calibration import CalibrationProfile
+
+            if isinstance(calibration, str):
+                calibration = CalibrationProfile.load(calibration)
+            self._ensure_cost_model().apply_profile(calibration)
         self.planner_options = planner_options or PlannerOptions()
         self.rewrite_settings = rewrite_settings or RewriteSettings()
         if on_error is not None:
@@ -381,7 +392,22 @@ class WsqEngine:
                 model = CostModel(
                     latency_mean=self._latency_mean(), cache=self.cache
                 )
-            return model.annotated_explain(plan)
+            text = model.annotated_explain(plan)
+            if model.calibrated:
+                static = model.uncalibrated()
+                header = (
+                    "-- cost model: calibrated ({})\n"
+                    "-- this plan: calibrated ~{:.4f}s vs static ~{:.4f}s "
+                    "(latency_mean {:.4f}s vs {:.4f}s)\n".format(
+                        model.profile.summary(),
+                        model.seconds(plan),
+                        static.seconds(plan),
+                        model.latency_mean,
+                        static.latency_mean,
+                    )
+                )
+                return header + text
+            return text
         return plan.explain()
 
     def _latency_mean(self):
@@ -392,6 +418,47 @@ class WsqEngine:
         if isinstance(mean, (int, float)):
             return float(mean)
         return 0.05
+
+    # -- calibration -----------------------------------------------------------
+
+    def _ensure_cost_model(self):
+        """``self.cost_model``, creating the default lazily."""
+        if self.cost_model is None:
+            from repro.plan.cost import CostModel
+
+            self.cost_model = CostModel(
+                latency_mean=self._latency_mean(), cache=self.cache
+            )
+        return self.cost_model
+
+    def recalibrate(self, profile=None, policy=None):
+        """Re-price ``self.cost_model`` from measured figures.
+
+        Without *profile*, one is built from the engine's own tracer,
+        metrics registry, and cache (so a traced workload is all the
+        setup needed).  With a
+        :class:`~repro.obs.calibration.CalibrationPolicy` as *policy*,
+        the profile must pass its sample-floor/completeness gate first.
+
+        Returns ``(applied, profile, reason)`` — ``reason`` explains a
+        rejection (``"ok"`` when applied), and the profile is returned
+        either way so callers can inspect or persist it.
+        """
+        if profile is None:
+            from repro.obs.calibration import CalibrationProfile
+
+            profile = CalibrationProfile.from_sources(
+                tracer=self.tracer,
+                metrics=self.metrics,
+                cache=self.cache,
+                created_at=self.clock.now(),
+            )
+        if policy is not None:
+            ok, reason = policy.admits(profile)
+            if not ok:
+                return False, profile, reason
+        self._ensure_cost_model().apply_profile(profile)
+        return True, profile, "ok"
 
     # -- execution ---------------------------------------------------------------------
 
@@ -638,9 +705,20 @@ class WsqEngine:
         ``"breakers"`` adds the per-destination circuit-breaker states
         (closed/open/half-open plus transition timestamps) so operators
         can tell *why* a destination is failing fast, not just how often.
+        ``"trace"`` (present only when tracing is on) reports the ring
+        buffer's fill and — crucially for calibration — how many events
+        it has **dropped** since the last clear: a non-zero count means
+        any trace-derived view is incomplete.
         """
         payload = self.pump.metrics.snapshot()
         payload["breakers"] = self.pump.breakers()
+        tracer = self.tracer
+        if tracer is not None:
+            payload["trace"] = {
+                "events": len(tracer),
+                "capacity": tracer.capacity,
+                "dropped": tracer.dropped,
+            }
         return payload
 
     def observability(self):

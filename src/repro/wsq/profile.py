@@ -255,7 +255,10 @@ class ProfileReport:
 
     def waterfall(self, width=64):
         """ASCII request timeline for the CLI."""
-        return render_waterfall(self._events(), width=width, query_id=self.query_id)
+        dropped = getattr(self.trace, "dropped", 0) if self.trace is not None else 0
+        return render_waterfall(
+            self._events(), width=width, query_id=self.query_id, dropped=dropped
+        )
 
     def render(self):
         lines = [

@@ -205,3 +205,71 @@ class TestReplSubprocess:
     def test_eof_exits_cleanly(self):
         proc = self._run("")
         assert proc.returncode == 0
+
+
+class TestObservabilityCommands:
+    def test_metrics_prom_argument(self, capsys):
+        engine = build_engine(_Args())
+        _run_statement(
+            engine, "Select Name From Sigs Limit 1", "sync"
+        )
+        capsys.readouterr()
+        _dot_command(engine, ".metrics --prom", "async")
+        out = capsys.readouterr().out
+        # Prometheus text exposition, not JSON.
+        assert "# TYPE" in out
+        assert "{" not in out.splitlines()[0] or "=" in out
+
+    def test_metrics_default_stays_json(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".metrics", "async")
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("{")
+
+    def test_slo_without_activity(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".slo", "async")
+        assert "no SLO activity" in capsys.readouterr().out
+
+    def test_slo_renders_counters(self, capsys):
+        engine = build_engine(_Args())
+        engine.metrics.inc("serve.slo.met", tenant="gold")
+        engine.metrics.inc("serve.slo.violated", tenant="gold")
+        engine.metrics.gauge("serve.slo.burn", tenant="gold").set(5.0)
+        _dot_command(engine, ".slo", "async")
+        out = capsys.readouterr().out
+        assert "gold: met 1/2 (50.0%)  burn 5.00x" in out
+
+    def test_recalibrate_command(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".recalibrate", "async")
+        out = capsys.readouterr().out
+        assert "calibration applied" in out
+        assert engine.cost_model is not None
+        assert engine.cost_model.calibrated
+
+    def test_calibration_flag_loads_profile(self, tmp_path):
+        from repro.obs import CalibrationProfile, DestinationCalibration
+
+        path = tmp_path / "profile.json"
+        CalibrationProfile(
+            destinations={
+                "AV": DestinationCalibration(
+                    "AV", samples=40, latency_mean=0.25
+                )
+            },
+            samples=40,
+        ).save(str(path))
+        args = _Args()
+        args.calibration = str(path)
+        engine = build_engine(args)
+        assert engine.cost_model.calibrated
+        assert engine.cost_model.destination_latency("AV") == 0.25
+
+    def test_help_lists_new_commands(self, capsys):
+        engine = build_engine(_Args())
+        _dot_command(engine, ".help", "async")
+        out = capsys.readouterr().out
+        assert ".slo" in out
+        assert ".recalibrate" in out
+        assert "--prom" in out

@@ -182,9 +182,13 @@ class TestPumpDeadlines:
 
 @pytest.fixture(scope="module")
 def slow_engine():
+    # cache=False: these tests need the calls to actually be slow — an
+    # env-injected cache (REPRO_CACHE=memory) would let repeated queries
+    # complete before their deadline/cancel fires.
     engine = WsqEngine(
         database=load_all(Database()),
         latency=UniformLatency(0.15, 0.25, salt=11),
+        cache=False,
     )
     yield engine
 

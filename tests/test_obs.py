@@ -492,3 +492,88 @@ class TestProfileFixes:
         assert report.requests() == []
         assert report.request_latencies() == {}
         assert report.overlap() == 0
+
+
+class TestPrometheusExport:
+    def test_counter_gauge_histogram_families(self):
+        registry = MetricsRegistry()
+        registry.inc("pump.registered", destination="AV")
+        registry.inc("pump.registered", destination="Google")
+        gauge = registry.gauge("pump.in_flight")
+        gauge.set(3)
+        gauge.set(1)
+        registry.histogram(
+            "request.service_seconds", buckets=[0.01, 0.1], destination="AV"
+        ).observe(0.05)
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE pump_registered counter" in lines
+        assert lines.count("# TYPE pump_registered counter") == 1
+        assert 'pump_registered{destination="AV"} 1' in lines
+        assert 'pump_registered{destination="Google"} 1' in lines
+        # Gauges carry a _max companion for the high-water mark.
+        assert "pump_in_flight 1" in lines
+        assert "pump_in_flight_max 3" in lines
+        # Histograms: cumulative buckets, +Inf == _count, plus _sum.
+        assert (
+            'request_service_seconds_bucket{destination="AV",le="0.01"} 0'
+            in lines
+        )
+        assert (
+            'request_service_seconds_bucket{destination="AV",le="0.1"} 1'
+            in lines
+        )
+        assert (
+            'request_service_seconds_bucket{destination="AV",le="+Inf"} 1'
+            in lines
+        )
+        assert 'request_service_seconds_sum{destination="AV"} 0.05' in lines
+        assert 'request_service_seconds_count{destination="AV"} 1' in lines
+        assert text.endswith("\n")
+
+    def test_name_and_label_sanitization(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.slo.met", tenant='ac"me\n2')
+        text = registry.to_prometheus()
+        assert 'serve_slo_met{tenant="ac\\"me\\n2"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_deterministic_output(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("b.counter")
+            registry.inc("a.counter", destination="Z")
+            registry.inc("a.counter", destination="A")
+            registry.gauge("g").set(2)
+            return registry.to_prometheus()
+
+        assert build() == build()
+
+    def test_named_accessors(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.slo.met", tenant="gold")
+        registry.inc("serve.slo.met", tenant="silver")
+        registry.gauge("serve.slo.burn", tenant="gold").set(0.5)
+        registry.observe("request.service_seconds", 0.01, destination="AV")
+        assert {
+            c.labels["tenant"] for c in registry.counters_named("serve.slo.met")
+        } == {"gold", "silver"}
+        assert len(registry.gauges_named("serve.slo.burn")) == 1
+        assert (
+            registry.histograms_named("request.service_seconds")[0]
+            .labels["destination"]
+            == "AV"
+        )
+        assert registry.counters_named("nothing") == []
+
+
+class TestWaterfallDropped:
+    def test_header_flags_incomplete_ring(self):
+        events = _synthetic_trace().events()
+        complete = render_waterfall(events)
+        assert "INCOMPLETE" not in complete
+        partial = render_waterfall(events, dropped=5)
+        header = partial.splitlines()[0]
+        assert "INCOMPLETE: ring dropped 5 event(s)" in header

@@ -418,3 +418,108 @@ class TestServeObservability:
         assert tripped and all(
             s["opened_at"] is not None for s in tripped
         )
+
+
+class TestSlo:
+    def test_policy_slo_validation(self):
+        with pytest.raises(ValueError):
+            TenantPolicy("t", slo_seconds=0)
+        with pytest.raises(ValueError):
+            TenantPolicy("t", slo_seconds=1.0, slo_target=1.0)
+        policy = TenantPolicy("t", slo_seconds=0.5, slo_target=0.9)
+        assert "slo=0.5s@0.9" in repr(policy)
+
+    def test_record_settlement_unit(self):
+        from repro.obs import MetricsRegistry, Tracer
+        from repro.serve.slo import (
+            SLO_BURN,
+            SLO_MET,
+            SLO_VIOLATED,
+            record_settlement,
+        )
+
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        policy = TenantPolicy("gold", slo_seconds=1.0, slo_target=0.9)
+        # No SLO configured: nothing moves.
+        assert record_settlement(
+            metrics, tracer, TenantPolicy("free"), "free", "completed", 0.1,
+            completed=True,
+        ) is None
+        assert metrics.counter_value(SLO_MET, tenant="free") == 0
+        # Within objective: met.
+        assert record_settlement(
+            metrics, tracer, policy, "gold", "completed", 0.5, completed=True
+        ) is True
+        # Late completion and a shed both charge the budget.
+        assert record_settlement(
+            metrics, tracer, policy, "gold", "completed", 2.0, completed=True
+        ) is False
+        assert record_settlement(
+            metrics, tracer, policy, "gold", "shed", 0.01, completed=False
+        ) is False
+        assert metrics.counter_value(SLO_MET, tenant="gold") == 1
+        assert metrics.counter_value(SLO_VIOLATED, tenant="gold") == 2
+        # burn = (2/3) / (1 - 0.9)
+        burn = metrics.gauge(SLO_BURN, tenant="gold").value
+        assert burn == pytest.approx((2 / 3) / 0.1)
+        violations = tracer.events("serve.slo_violation")
+        assert len(violations) == 2
+        assert violations[0].args["tenant"] == "gold"
+        assert violations[0].args["objective_s"] == 1.0
+
+    def test_service_tracks_slo_end_to_end(self):
+        from repro.serve import render_slo_report
+        from repro.serve.slo import slo_counters_view
+
+        engine = make_engine(obs=True)
+        tenants = [
+            TenantPolicy("gold", slo_seconds=30.0, slo_target=0.9),
+            TenantPolicy("tight", slo_seconds=1e-9, slo_target=0.99),
+            TenantPolicy("free"),  # no SLO: excluded from the report
+        ]
+        with QueryService(engine, tenants=tenants, max_workers=2) as service:
+            for tenant in ("gold", "tight", "free"):
+                service.submit(LOCAL_SQL, tenant=tenant).result(timeout=30.0)
+            report = service.slo_report()
+            stats = service.stats()
+
+        assert set(report) == {"gold", "tight"}
+        assert report["gold"]["met"] == 1
+        assert report["gold"]["violated"] == 0
+        assert report["gold"]["met_fraction"] == 1.0
+        # Every real query exceeds a 1ns objective: pure budget burn.
+        assert report["tight"]["violated"] == 1
+        assert report["tight"]["burn"] == pytest.approx(100.0)
+        assert stats["slo"] == report
+
+        text = render_slo_report(report)
+        assert "gold" in text and "burn 100.00x" in text
+        assert "met 1/1 (100.0%)" in text
+        # The policy-free counters view reconstructs the same picture.
+        view = slo_counters_view(engine.metrics)
+        assert view["gold"]["met"] == 1
+        assert view["tight"]["burn"] == pytest.approx(100.0)
+        assert "free" not in view
+
+    def test_client_cancel_excluded_from_slo(self):
+        engine = make_engine(latency=UniformLatency(0.2, 0.3), obs=True)
+        tenants = [TenantPolicy("gold", slo_seconds=30.0, slo_target=0.9)]
+        service = QueryService(engine, tenants=tenants, max_workers=1)
+        try:
+            handle = service.submit(WSQ_SQL, tenant="gold")
+            handle.cancel("client left")
+            with pytest.raises(Exception):
+                handle.result(timeout=30.0)
+        finally:
+            service.close()
+        # The caller walked away: neither side of the ratio moves.
+        from repro.serve.slo import SLO_MET, SLO_VIOLATED
+
+        assert engine.metrics.counter_value(SLO_MET, tenant="gold") == 0
+        assert engine.metrics.counter_value(SLO_VIOLATED, tenant="gold") == 0
+
+    def test_render_empty_report(self):
+        from repro.serve import render_slo_report
+
+        assert "no tenants" in render_slo_report({})
