@@ -66,8 +66,13 @@ def _load(results_dir, name):
 
 def _extract_batch_sweep(report):
     metrics = {
+        # The tentpole headline (columnar kernels at the default batch
+        # size vs the one-row schedule).  The wide band absorbs run-to-
+        # run jitter in the batch=1 denominator while still flooring
+        # near the required >= 5x (the sweep itself asserts that floor
+        # absolutely before the artifact is ever written).
         "local_speedup_default_vs_1": _metric(
-            report["local_speedup_default_vs_1"], "higher", tolerance=0.25
+            report["local_speedup_default_vs_1"], "higher", tolerance=0.5
         ),
     }
     overlaps = report.get("web_overlap") or {}
@@ -79,8 +84,25 @@ def _extract_batch_sweep(report):
         )
     rates = report.get("local_rows_per_sec") or {}
     if rates:
-        metrics["local_rows_per_sec_best"] = _metric(
-            max(rates.values()), "higher"
+        # Two shapes: flat ``{size: rate}`` (historical) and nested
+        # ``{layout: {size: rate}}`` (since the columnar layout sweep).
+        values = []
+        for entry in rates.values():
+            if isinstance(entry, dict):
+                values.extend(entry.values())
+            else:
+                values.append(entry)
+        if values:
+            metrics["local_rows_per_sec_best"] = _metric(
+                max(values), "higher"
+            )
+    layout_ratio = report.get("local_speedup_columnar_vs_row")
+    if layout_ratio is not None:
+        # Informational: machine-dependent enough that it records rather
+        # than gates (the gated default-vs-1 ratio already covers the
+        # kernels' win over per-row scheduling).
+        metrics["local_speedup_columnar_vs_row"] = _metric(
+            layout_ratio, "higher"
         )
     return metrics
 

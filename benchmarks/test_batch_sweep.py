@@ -1,19 +1,23 @@
-"""Batch-size sweep: local pipeline throughput and external-call overlap.
+"""Batch layout x size sweep: local pipeline throughput and call overlap.
 
-Two workloads, each swept over the batch-granularity knob:
+Two workloads, swept over the batch-granularity and batch-layout knobs:
 
 - a **join-heavy local** pipeline (scan -> filter -> nested-loop join)
-  measured in input rows per second — this is where vectorization pays
-  for itself by amortizing the per-tuple virtual-call round trips;
+  measured in input rows per second, in both batch layouts — the
+  columnar layout runs the compiled column-at-a-time kernels (typed
+  array columns, selection-vector filters, the hash equi-join upgrade)
+  while the row layout keeps the original row-of-tuples pipeline;
 - the **WebCount-heavy** Table-1-style query (37 identically shaped
   searches) measured end-to-end with the trace-derived overlap factor —
   batching registration must never *reduce* the overlap the paper's
   speedups rest on.
 
-Every sweep point also re-checks correctness (``batch_size=1`` must
-reproduce the row-at-a-time results exactly), and the summary asserts
-the default batch size beats the degenerate one by >= 1.3x on the local
-micro-benchmark.  Results land in ``benchmarks/results/batch_sweep.txt``.
+Every sweep point also re-checks correctness (every layout x size cell
+must reproduce the row-at-a-time results exactly), and the summary
+asserts the columnar default beats the degenerate batch=1 schedule by
+>= 5x on the local micro-benchmark — the tentpole's headline number,
+gated via BENCH_leaderboard.json.  Results land in
+``benchmarks/results/batch_sweep.txt``.
 """
 
 import json
@@ -28,15 +32,18 @@ from repro.exec import (
     RowsScan,
     collect,
     collect_batches,
+    set_batch_layout,
     set_batch_size,
 )
 from repro.obs import Observability, overlap_factor
+from repro.obs.trace import CALL_REGISTER, SYNC_WAIT
 from repro.relational.batch import DEFAULT_BATCH_SIZE
 from repro.relational.expr import ColumnRef, Comparison, Literal
 from repro.relational.schema import Column, Schema
 from repro.relational.types import DataType
 
 BATCH_SIZES = [1, 4, 16, 64, 256]
+LAYOUTS = ["columnar", "row"]
 
 # -- workload 1: join-heavy local pipeline -----------------------------------
 
@@ -70,26 +77,31 @@ EXPECTED_LOCAL = sorted((v, v) for v in INNER_VALUES)
 SQL = "Select Name, Count From Sigs, WebCount Where Name = T1 and T2 = 'Knuth'"
 CALLS = 37
 
-_LOCAL = {}  # batch_size -> input rows/sec
+_LOCAL = {}  # (layout, batch_size) -> input rows/sec
 _WEB = {}  # batch_size -> (seconds, overlap)
 
 
 @pytest.mark.parametrize(
     "batch_size", BATCH_SIZES, ids=lambda b: "batch={}".format(b)
 )
-def test_local_pipeline_sweep(benchmark, batch_size):
+@pytest.mark.parametrize("layout", LAYOUTS, ids=lambda v: "layout={}".format(v))
+def test_local_pipeline_sweep(benchmark, layout, batch_size):
     def run():
         plan = set_batch_size(_local_plan(), batch_size)
+        set_batch_layout(plan, layout)
         return collect_batches(plan, batch_size)
 
     rows = benchmark.pedantic(run, rounds=3, iterations=1)
-    # Correctness at every granularity: identical to the row-at-a-time
-    # path (batch=1 *is* the row-at-a-time schedule, just grouped).
+    # Correctness at every cell: identical to the row-at-a-time path
+    # (batch=1 in the row layout *is* the row-at-a-time schedule).
     assert sorted(rows) == EXPECTED_LOCAL
     assert sorted(collect(_local_plan())) == EXPECTED_LOCAL
     seconds = benchmark.stats.stats.mean
-    _LOCAL[batch_size] = OUTER_N / seconds
-    benchmark.extra_info["input_rows_per_sec"] = round(_LOCAL[batch_size])
+    _LOCAL[(layout, batch_size)] = OUTER_N / seconds
+    benchmark.extra_info["batch_layout"] = layout
+    benchmark.extra_info["input_rows_per_sec"] = round(
+        _LOCAL[(layout, batch_size)]
+    )
 
 
 @pytest.mark.parametrize(
@@ -102,17 +114,37 @@ def test_webcount_sweep(benchmark, batch_size, warm_web):
         try:
             result = engine.execute(SQL, mode="async")
             engine.pump.quiesce(timeout=5.0)
-            return overlap_factor(obs.tracer.events()), result
+            events = obs.tracer.events()
+            register_idx = [
+                i for i, e in enumerate(events) if e.name == CALL_REGISTER
+            ]
+            wait_idx = [i for i, e in enumerate(events) if e.name == SYNC_WAIT]
+            frontier_first = bool(register_idx) and (
+                not wait_idx or max(register_idx) < min(wait_idx)
+            )
+            return overlap_factor(events), frontier_first, result
         finally:
             engine.pump.shutdown()
 
-    overlap, result = benchmark.pedantic(run, rounds=2, iterations=1)
+    overlap, frontier_first, result = benchmark.pedantic(
+        run, rounds=2, iterations=1
+    )
     assert len(result) == CALLS
     # Batched registration must not cost concurrency: the full-buffering
-    # ReqSync registers every call before waiting at *any* granularity,
-    # so the pump still overlaps the whole frontier.
-    assert overlap == CALLS
-    _WEB[batch_size] = (benchmark.stats.stats.mean, overlap)
+    # ReqSync registers every call before waiting at *any* granularity
+    # — asserted structurally from the trace order, which is exact.
+    assert frontier_first
+    if batch_size > 1:
+        # With the frontier registered in a handful of pulls, every call
+        # is in flight at once; the wall-clock peak is deterministic.
+        # At batch=1 the 37 per-row registrations race the ~3 ms minimum
+        # simulated latency, so the peak (recorded above as structure)
+        # would flake — the degenerate schedule keeps the structural
+        # guarantee only.
+        assert overlap == CALLS
+        _WEB[batch_size] = (benchmark.stats.stats.mean, overlap)
+    else:
+        _WEB[batch_size] = (benchmark.stats.stats.mean, None)
     benchmark.extra_info["overlap_factor"] = overlap
 
 
@@ -121,29 +153,37 @@ def test_batch_sweep_summary(benchmark):
     if not _LOCAL or not _WEB:
         pytest.skip("no sweep measurements collected")
     lines = [
-        "batch-size sweep ({} input rows local; {} calls web)".format(
+        "batch layout x size sweep ({} input rows local; {} calls web)".format(
             OUTER_N, CALLS
         ),
-        "{:<12}{:>18}{:>14}{:>10}".format(
-            "batch_size", "local rows/s", "web s", "overlap"
+        "{:<12}{:>22}{:>18}{:>14}{:>10}".format(
+            "batch_size", "columnar rows/s", "row rows/s", "web s", "overlap"
         ),
     ]
     for batch_size in BATCH_SIZES:
-        rows_per_sec = _LOCAL.get(batch_size)
         web = _WEB.get(batch_size)
         lines.append(
-            "{:<12}{:>18}{:>14}{:>10}".format(
+            "{:<12}{:>22}{:>18}{:>14}{:>10}".format(
                 batch_size,
-                round(rows_per_sec) if rows_per_sec else "-",
+                round(_LOCAL.get(("columnar", batch_size), 0)) or "-",
+                round(_LOCAL.get(("row", batch_size), 0)) or "-",
                 "{:.4f}".format(web[0]) if web else "-",
-                web[1] if web else "-",
+                web[1] if web and web[1] is not None else "-",
             )
         )
     default = min(DEFAULT_BATCH_SIZE, max(BATCH_SIZES))
-    speedup = _LOCAL[default] / _LOCAL[1]
+    # Headline: the default configuration (columnar kernels at the
+    # default batch size) vs the degenerate one-row schedule.
+    speedup = _LOCAL[("columnar", default)] / _LOCAL[("columnar", 1)]
+    layout_ratio = _LOCAL[("columnar", default)] / _LOCAL[("row", default)]
     lines.append(
-        "default ({}) vs degenerate (1): {:.2f}x local speedup".format(
+        "columnar default ({0}) vs batch=1: {1:.2f}x local speedup".format(
             default, speedup
+        )
+    )
+    lines.append(
+        "columnar vs row layout at batch={0}: {1:.2f}x".format(
+            default, layout_ratio
         )
     )
     with open(results_path("batch_sweep.txt"), "w", encoding="utf-8") as f:
@@ -152,20 +192,34 @@ def test_batch_sweep_summary(benchmark):
     # benchmarks/leaderboard.py when it assembles BENCH_leaderboard.json.
     report = {
         "benchmark": "batch_sweep",
+        "layouts": LAYOUTS,
+        "default_layout": "columnar",
         "local_rows_per_sec": {
-            str(b): round(_LOCAL[b], 1) for b in BATCH_SIZES if b in _LOCAL
+            layout: {
+                str(b): round(_LOCAL[(layout, b)], 1)
+                for b in BATCH_SIZES
+                if (layout, b) in _LOCAL
+            }
+            for layout in LAYOUTS
         },
         "web_seconds": {
             str(b): round(_WEB[b][0], 6) for b in BATCH_SIZES if b in _WEB
         },
         "web_overlap": {
-            str(b): _WEB[b][1] for b in BATCH_SIZES if b in _WEB
+            str(b): _WEB[b][1]
+            for b in BATCH_SIZES
+            if b in _WEB and _WEB[b][1] is not None
         },
         "local_speedup_default_vs_1": round(speedup, 4),
+        "local_speedup_columnar_vs_row": round(layout_ratio, 4),
     }
     with open(results_path("BENCH_batch_sweep.json"), "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
     benchmark.extra_info["local_speedup_default_vs_1"] = round(speedup, 2)
-    # The tentpole's headline: the default batch size must clearly beat
-    # row-at-a-time on the local scan->filter->join micro-benchmark.
-    assert speedup >= 1.3, "\n".join(lines)
+    benchmark.extra_info["local_speedup_columnar_vs_row"] = round(
+        layout_ratio, 2
+    )
+    # The tentpole's headline: compiled column kernels at the default
+    # batch size must beat the one-row schedule by at least 5x on the
+    # local scan->filter->join micro-benchmark.
+    assert speedup >= 5.0, "\n".join(lines)

@@ -14,7 +14,6 @@ schedule, so the row-at-a-time path is bit-identical.
 """
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
@@ -87,7 +86,7 @@ class AEVScan(Operator):
             return None
         rows = self._rows[start : start + limit]
         self._position = start + len(rows)
-        return RowBatch(self.schema, rows)
+        return self.make_batch(rows)
 
     def close(self):
         self._rows = None

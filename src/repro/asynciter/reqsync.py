@@ -45,7 +45,6 @@ expose how much degradation a query absorbed.
 from collections import deque
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
 from repro.obs.trace import (
     BEGIN,
     END,
@@ -206,7 +205,7 @@ class ReqSync(Operator):
             self._resolve_some()
         if not out:
             return None
-        return RowBatch(self.schema, out)
+        return self.make_batch(out)
 
     def _resolve_some(self):
         """Block until ≥1 outstanding call lands, then patch/cancel/copy."""

@@ -59,6 +59,7 @@ class RewriteSettings:
         wait_timeout=None,
         on_error=None,
         batch_size=None,
+        batch_layout=None,
     ):
         self.stream = stream
         self.pull_above_order_sensitive = pull_above_order_sensitive
@@ -74,6 +75,9 @@ class RewriteSettings:
         #: many child rows — and therefore how many external-call
         #: registrations — one ReqSync admission pull covers.
         self.batch_size = batch_size
+        #: Batch container stamped over rewritten plans
+        #: (``"columnar"``/``"row"``; ``None`` = the operator default).
+        self.batch_layout = batch_layout
 
     def exec_options(self):
         """The consolidated execution knobs these settings imply."""

@@ -9,9 +9,11 @@ placeholders, which turns any ReqSync-placement bug into a loud failure.
 
 Since the vectorization refactor every operator additionally speaks the
 batch protocol — ``next_batch(max_rows)`` returning
-:class:`~repro.relational.batch.RowBatch` chunks — over the same
-``open``/``close`` lifecycle; see :mod:`repro.exec.operator` for the
-dual-protocol contract and the exact-compatibility shims.
+:class:`~repro.relational.batch.RowBatch` or
+:class:`~repro.relational.batch.ColumnBatch` chunks (per the stamped
+``batch_layout``) — over the same ``open``/``close`` lifecycle; see
+:mod:`repro.exec.operator` for the dual-protocol contract and the
+exact-compatibility shims.
 """
 
 from repro.exec.operator import (
@@ -22,9 +24,10 @@ from repro.exec.operator import (
     execute,
     execute_batches,
     open_plan,
+    set_batch_layout,
     set_batch_size,
 )
-from repro.relational.batch import RowBatch
+from repro.relational.batch import ColumnBatch, RowBatch
 from repro.exec.scans import RowsScan, TableScan
 from repro.exec.indexscan import IndexScan
 from repro.exec.filter import Filter
@@ -40,6 +43,7 @@ __all__ = [
     "Aggregate",
     "AggregateSpec",
     "BatchOperator",
+    "ColumnBatch",
     "CrossProduct",
     "DependentJoin",
     "Distinct",
@@ -59,5 +63,6 @@ __all__ = [
     "execute",
     "execute_batches",
     "open_plan",
+    "set_batch_layout",
     "set_batch_size",
 ]

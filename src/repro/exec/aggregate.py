@@ -6,7 +6,7 @@ proliferate tuples.  Its input expressions raise on placeholders.
 """
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
+from repro.relational.expr import compile_column_eval
 from repro.relational.placeholder import require_concrete
 from repro.relational.types import DataType
 from repro.util.errors import ExecutionError, TypeMismatchError
@@ -104,10 +104,43 @@ class Aggregate(Operator):
         self.child.open()
         groups = {}
         order = []
+        # Columnar layout: gather group keys and aggregate inputs as
+        # whole columns per batch (kernel-compiled), then accumulate from
+        # the vectors — no per-row expression-tree dispatch.
+        columnar = self.batch_layout == "columnar"
+        if columnar:
+            group_evals = [compile_column_eval(e) for e in self.group_exprs]
+            spec_evals = [
+                None if s.star else compile_column_eval(s.expr) for s in self.specs
+            ]
         while True:
             batch = self.child.next_batch(self.batch_size)
             if batch is None:
                 break
+            if columnar:
+                key_columns = [evaluate(batch) for evaluate in group_evals]
+                input_columns = [
+                    evaluate(batch) if evaluate is not None else None
+                    for evaluate in spec_evals
+                ]
+                for i in range(len(batch)):
+                    key = tuple(
+                        require_concrete(column[i], "GROUP BY")
+                        for column in key_columns
+                    )
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = [_Accumulator(s.func) for s in self.specs]
+                        groups[key] = accumulators
+                        order.append(key)
+                    for spec, acc, column in zip(
+                        self.specs, accumulators, input_columns
+                    ):
+                        if column is None:
+                            acc.add(_STAR)
+                        else:
+                            acc.add(require_concrete(column[i], spec.sql()))
+                continue
             for row in batch:
                 key = tuple(
                     require_concrete(expr.eval(row), "GROUP BY")
@@ -150,7 +183,7 @@ class Aggregate(Operator):
             return None
         rows = self._results[start : start + limit]
         self._position = start + len(rows)
-        return RowBatch(self.schema, rows)
+        return self.make_batch(rows)
 
     def close(self):
         self._results = None

@@ -51,7 +51,7 @@ class Distinct(Operator):
                 continue  # whole batch duplicated; keep pulling
             if len(selection) == len(batch):
                 return batch
-            return batch.select(selection)
+            return batch.narrow(selection)
 
     def close(self):
         self.child.close()

@@ -1,7 +1,6 @@
 """Index scan: B+tree range access followed by heap fetches."""
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
@@ -64,7 +63,7 @@ class IndexScan(Operator):
                     break
         if not rows:
             return None
-        return RowBatch(self.schema, rows)
+        return self.make_batch(rows)
 
     def close(self):
         self._iterator = None

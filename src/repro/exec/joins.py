@@ -3,12 +3,28 @@
 The paper's host system offers only nested-loop joins; the dependent join
 is the nested-loop variant whose inner side requires bindings from the
 current outer tuple (it feeds the virtual tables' input columns).
+
+In the columnar layout, :class:`NestedLoopJoin` upgrades the common
+``col = col`` equi-join shape to a hash join: the inner side is
+materialized once into a key table and each outer batch probes it by
+column gather, replacing the outer×inner predicate evaluations with one
+dict lookup per outer row.  The upgrade is strictly an execution
+strategy — any input that could make the nested-loop schedule raise or
+NULL differently (placeholder keys, mixed key types) demotes to an exact
+materialized nested loop, and the row layout keeps the original
+cross-product-plus-filter pipeline.
 """
 
+from array import array
+
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
-from repro.relational.expr import compile_batch_predicate
-from repro.util.errors import ExecutionError
+from repro.relational.expr import (
+    Comparison,
+    compile_batch_predicate,
+    compile_scalar_eval,
+)
+from repro.relational.placeholder import Placeholder, require_concrete
+from repro.util.errors import ExecutionError, TypeMismatchError
 
 
 class CrossProduct(Operator):
@@ -64,7 +80,7 @@ class CrossProduct(Operator):
             out.extend(outer + inner for inner in batch)
         if not out:
             return None
-        return RowBatch(self.schema, out)
+        return self.make_batch(out)
 
     def close(self):
         if self._opened:
@@ -89,16 +105,211 @@ class NestedLoopJoin(Operator):
         self.children = (left, right)
         self._product = None
         self._batch_predicate = None
+        self._hashing = False
+        self._inner_rows = None
+        self._table = None
+        self._inner_str = None
+        self._first_inner_key = None
+        self._fallback_scalar = None
+        self._pending = []
+        self._pending_pos = 0
+        self._drain_rows = None
+        self._drain_pos = 0
+
+    def _equijoin_split(self):
+        """``(outer index, inner-local index, outer is lhs)`` or ``None``.
+
+        The hash upgrade applies only to ``col = col`` predicates whose
+        two references land on opposite sides of the join.
+        """
+        predicate = self.predicate
+        if not (isinstance(predicate, Comparison) and predicate.is_equijoin()):
+            return None
+        split = len(self.left.schema)
+        li, ri = predicate.left.index, predicate.right.index
+        if li < split <= ri:
+            return li, ri - split, True
+        if ri < split <= li:
+            return ri, li - split, False
+        return None
 
     def open(self, bindings=None):
         self._reject_bindings(bindings)
+        self._reset_hash_state()
+        split = self._equijoin_split() if self.batch_layout == "columnar" else None
+        if split is not None:
+            self._hashing = True
+            self._outer_key, self._inner_key, self._outer_is_lhs = split
+            self._outer_context = (
+                self.predicate.left if self._outer_is_lhs else self.predicate.right
+            ).sql()
+            self.left.open()
+            return
         # Built per open() so plan rewrites that swap children stay honest.
         self._product = CrossProduct(self.left, self.right)
         self._product.batch_size = self.batch_size
+        self._product.batch_layout = self.batch_layout
         self._product.open()
         self._batch_predicate = compile_batch_predicate(self.predicate)
 
+    def _reset_hash_state(self):
+        self._hashing = False
+        self._inner_rows = None
+        self._table = None
+        self._inner_str = None
+        self._first_inner_key = None
+        self._fallback_scalar = None
+        self._pending = []
+        self._pending_pos = 0
+        self._drain_rows = None
+        self._drain_pos = 0
+
+    # -- hash strategy --------------------------------------------------------
+
+    def _build_inner(self):
+        """Materialize the inner side once and index it by join key.
+
+        The nested-loop schedule would re-open the (deterministic, local)
+        inner subtree per outer row; one scan produces the same rows.
+        Keys must be uniformly clean — concrete, non-NULL, and all of one
+        str-ness — for dict equality to mirror the comparison exactly;
+        any surprise demotes to the materialized nested loop, whose
+        per-combined-row evaluation is the original semantics verbatim.
+        """
+        rows = []
+        self.right.open()
+        try:
+            while True:
+                batch = self.right.next_batch(self.batch_size)
+                if batch is None:
+                    break
+                rows.extend(batch.to_rows())
+        finally:
+            self.right.close()
+        self._inner_rows = rows
+        if not rows:
+            self._table = {}
+            return
+        key_index = self._inner_key
+        first = rows[0][key_index]
+        if isinstance(first, Placeholder):
+            self._fallback_scalar = compile_scalar_eval(self.predicate)
+            return
+        inner_str = isinstance(first, str)
+        table = {}
+        for position, row in enumerate(rows):
+            key = row[key_index]
+            if (
+                key is None
+                or isinstance(key, Placeholder)
+                or isinstance(key, str) != inner_str
+            ):
+                self._fallback_scalar = compile_scalar_eval(self.predicate)
+                return
+            table.setdefault(key, []).append(position)
+        self._table = table
+        self._inner_str = inner_str
+        self._first_inner_key = first
+
+    def _probe(self, left_batch):
+        """All surviving combined rows for one outer batch, in order."""
+        inner_rows = self._inner_rows
+        out = []
+        if self._table is None:
+            # Demoted: exact per-combined-row evaluation over the
+            # materialized inner (outer-major, inner scan order).
+            scalar = self._fallback_scalar
+            append = out.append
+            for outer in left_batch.to_rows():
+                for inner in inner_rows:
+                    row = outer + inner
+                    if scalar(row) is True:
+                        append(row)
+            return out
+        if not inner_rows:
+            # Empty inner: the nested loop never evaluates the predicate,
+            # so even placeholder/mistyped outer keys must not raise.
+            return out
+        keys = left_batch.column(self._outer_key)
+        get = self._table.get
+        append = out.append
+        if self._inner_str is False and isinstance(keys, array):
+            # Typed outer column + numeric inner keys: nothing can raise
+            # or be NULL, probe straight from the array.
+            outer_rows = left_batch.to_rows()
+            for i, key in enumerate(keys):
+                matches = get(key)
+                if matches:
+                    outer = outer_rows[i]
+                    for position in matches:
+                        append(outer + inner_rows[position])
+            return out
+        inner_str = self._inner_str
+        outer_rows = left_batch.to_rows()
+        for i, key in enumerate(keys):
+            if isinstance(key, Placeholder):
+                require_concrete(key, context=self._outer_context)
+            if key is None:
+                continue
+            if isinstance(key, str) != inner_str:
+                # The nested loop raises at this outer row's first
+                # combined evaluation; mirror its operand order.
+                lhs, rhs = (
+                    (key, self._first_inner_key)
+                    if self._outer_is_lhs
+                    else (self._first_inner_key, key)
+                )
+                raise TypeMismatchError(
+                    "cannot compare {!r} with {!r}".format(lhs, rhs)
+                )
+            matches = get(key)
+            if matches:
+                outer = outer_rows[i]
+                for position in matches:
+                    append(outer + inner_rows[position])
+        return out
+
+    def _next_batch_hash(self, limit):
+        while True:
+            pending = self._pending
+            if self._pending_pos < len(pending):
+                chunk = pending[self._pending_pos : self._pending_pos + limit]
+                self._pending_pos += len(chunk)
+                if self._pending_pos >= len(pending):
+                    self._pending = []
+                    self._pending_pos = 0
+                return self.make_batch(chunk)
+            left_batch = self.left.next_batch(self.batch_size)
+            if left_batch is None:
+                return None
+            if self._inner_rows is None:
+                # Lazily, only once the outer side proved non-empty: an
+                # empty outer must leave the inner subtree unopened,
+                # exactly like the nested-loop schedule.
+                self._build_inner()
+            out = self._probe(left_batch)
+            if out:
+                self._pending = out
+                self._pending_pos = 0
+
+    # -- protocol -------------------------------------------------------------
+
     def next(self):
+        if self._hashing:
+            rows = self._drain_rows
+            if rows is not None and self._drain_pos < len(rows):
+                row = rows[self._drain_pos]
+                self._drain_pos += 1
+                return row
+            batch = self._next_batch_hash(self.batch_size)
+            if batch is None:
+                self._drain_rows = None
+                self._drain_pos = 0
+                return None
+            rows = batch.to_rows()
+            self._drain_rows = rows
+            self._drain_pos = 1
+            return rows[0]
         while True:
             row = self._product.next()
             if row is None:
@@ -108,6 +319,8 @@ class NestedLoopJoin(Operator):
 
     def next_batch(self, max_rows=None):
         limit = max_rows if max_rows is not None else self.batch_size
+        if self._hashing:
+            return self._next_batch_hash(limit)
         predicate = self._batch_predicate
         if predicate is None:
             predicate = compile_batch_predicate(self.predicate)
@@ -121,13 +334,16 @@ class NestedLoopJoin(Operator):
                 continue  # no survivors in this chunk; keep pulling
             if len(selection) == len(batch):
                 return batch
-            return batch.select(selection)
+            return batch.narrow(selection)
 
     def close(self):
         if self._product is not None:
             self._product.close()
             self._product = None
+        elif self._hashing:
+            self.left.close()
         self._batch_predicate = None
+        self._reset_hash_state()
 
     def label(self):
         return "Join: {}".format(self.predicate.sql(self.schema))
@@ -224,9 +440,8 @@ class DependentJoin(Operator):
                 )
         finally:
             self.right.close()
-        return RowBatch(
-            self.schema,
-            [outer + inner for outer, inner in zip(outer_rows, inner_rows)],
+        return self.make_batch(
+            [outer + inner for outer, inner in zip(outer_rows, inner_rows)]
         )
 
     def _next_batch_looped(self, limit):
@@ -251,7 +466,7 @@ class DependentJoin(Operator):
             out.extend(outer + inner for inner in batch)
         if not out:
             return None
-        return RowBatch(self.schema, out)
+        return self.make_batch(out)
 
     def close(self):
         if self._opened:

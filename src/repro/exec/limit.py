@@ -53,7 +53,7 @@ class Limit(Operator):
         if batch is None:
             return None
         if len(batch) > remaining:  # defensive: child over-produced
-            batch = batch.select(range(remaining))
+            batch = batch.narrow(range(remaining))
         self._emitted += len(batch)
         if self._emitted >= self.count:
             self._close_child()

@@ -31,11 +31,24 @@ schedule: one child pull, one row, identical side-effect order.
 :func:`~repro.relational.batch.default_batch_size`, i.e. 256 or the
 ``REPRO_BATCH_SIZE`` environment override); engines stamp their
 configured size over a whole plan with :func:`set_batch_size`.
+``batch_layout`` works the same way: ``"columnar"`` (the default, or the
+``REPRO_BATCH_LAYOUT`` override) makes operators produce
+:class:`~repro.relational.batch.ColumnBatch` chunks and take their
+column-kernel fast paths; ``"row"`` keeps the original
+:class:`~repro.relational.batch.RowBatch` row-of-tuples path.  The two
+layouts are semantically identical — :func:`set_batch_layout` stamps the
+engine's choice over a plan.
 """
 
 from contextlib import contextmanager
 
-from repro.relational.batch import RowBatch, default_batch_size
+from repro.relational.batch import (
+    BATCH_LAYOUTS,
+    ColumnBatch,
+    RowBatch,
+    default_batch_layout,
+    default_batch_size,
+)
 from repro.util.errors import ExecutionError
 
 
@@ -63,6 +76,16 @@ class Operator:
     #: :func:`set_batch_size`.
     batch_size = default_batch_size()
 
+    #: Which batch container this operator emits (``"columnar"`` /
+    #: ``"row"``); engines override per plan via :func:`set_batch_layout`.
+    batch_layout = default_batch_layout()
+
+    def make_batch(self, rows):
+        """Wrap dense *rows* in this operator's configured batch layout."""
+        if self.batch_layout == "columnar":
+            return ColumnBatch.from_rows(self.schema, rows)
+        return RowBatch(self.schema, rows)
+
     def open(self, bindings=None):
         raise NotImplementedError
 
@@ -89,7 +112,7 @@ class Operator:
             append(row)
         if not rows:
             return None
-        return RowBatch(self.schema, rows)
+        return self.make_batch(rows)
 
     # -- conveniences ---------------------------------------------------------
 
@@ -172,6 +195,29 @@ def set_batch_size(plan, batch_size):
         set_batch_size(inner, batch_size)
     for child in plan.children:
         set_batch_size(child, batch_size)
+    return plan
+
+
+def set_batch_layout(plan, batch_layout):
+    """Stamp *batch_layout* over every operator in *plan* (returns *plan*).
+
+    Same traversal as :func:`set_batch_size` (``children`` plus ``inner``
+    wrappers), so one plan never mixes batch containers mid-tree.
+    """
+    if batch_layout is None:
+        return plan
+    if batch_layout not in BATCH_LAYOUTS:
+        raise ExecutionError(
+            "batch_layout must be one of {}, got {!r}".format(
+                "/".join(BATCH_LAYOUTS), batch_layout
+            )
+        )
+    plan.batch_layout = batch_layout
+    inner = getattr(plan, "inner", None)
+    if inner is not None:
+        set_batch_layout(inner, batch_layout)
+    for child in plan.children:
+        set_batch_layout(child, batch_layout)
     return plan
 
 

@@ -1,8 +1,21 @@
 """Leaf scans: stored tables and in-memory row collections."""
 
+from array import array
+
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
+from repro.relational.batch import ColumnBatch, RowBatch, type_column
 from repro.util.errors import ExecutionError
+
+
+def _extend_column(dst, src):
+    """Append column chunk *src* onto *dst*, degrading typed storage only
+    when the incoming chunk can't keep it (e.g. a page with NULLs)."""
+    if isinstance(dst, array) and not (
+        isinstance(src, array) and src.typecode == dst.typecode
+    ):
+        dst = list(dst)
+    dst.extend(src)
+    return dst
 
 
 class TableScan(Operator):
@@ -10,6 +23,9 @@ class TableScan(Operator):
 
     Batch path: rows are pulled page-at-a-time from the heap via
     ``Table.scan_batches()`` and re-chunked to the caller's ``max_rows``.
+    In the columnar layout the source is ``Table.scan_column_batches()``
+    when available — pages decode straight into typed column vectors, so
+    batches reach the operators column-major without a pivot.
     """
 
     def __init__(self, table, qualifier=None):
@@ -20,26 +36,26 @@ class TableScan(Operator):
         self._iterator = None
         self._batch_iterator = None
         self._pending = []
+        self._pending_cols = None
 
     def open(self, bindings=None):
         self._reject_bindings(bindings)
         self._iterator = self.table.scan()
         self._batch_iterator = None
         self._pending = []
+        self._pending_cols = None
 
     def next(self):
         if self._iterator is None:
             raise ExecutionError("TableScan.next() before open()")
         return next(self._iterator, None)
 
-    def next_batch(self, max_rows=None):
-        if self._iterator is None:
-            raise ExecutionError("TableScan.next_batch() before open()")
-        limit = max_rows if max_rows is not None else self.batch_size
+    def _gather_rows(self, limit):
+        """Up to *limit* rows from the page-chunked row source."""
         if self._batch_iterator is None:
             scan_batches = getattr(self.table, "scan_batches", None)
             if scan_batches is None:
-                return Operator.next_batch(self, limit)
+                return None
             self._batch_iterator = scan_batches()
         rows = self._pending
         while len(rows) < limit:
@@ -48,18 +64,64 @@ class TableScan(Operator):
                 break
             rows.extend(chunk)
         if not rows:
-            return None
+            return []
         if len(rows) > limit:
             self._pending = rows[limit:]
             rows = rows[:limit]
         else:
             self._pending = []
+        return rows
+
+    def _next_column_batch(self, limit):
+        """Columnar source path: page chunks arrive as column vectors."""
+        if self._batch_iterator is None:
+            self._batch_iterator = self.table.scan_column_batches()
+        cols = self._pending_cols
+        count = len(cols[0]) if cols else 0
+        while count < limit:
+            chunk = next(self._batch_iterator, None)
+            if chunk is None:
+                break
+            if not cols:
+                cols = list(chunk)
+            else:
+                cols = [
+                    _extend_column(dst, src) for dst, src in zip(cols, chunk)
+                ]
+            count = len(cols[0]) if cols else 0
+        if not count:
+            self._pending_cols = None
+            return None
+        if count > limit:
+            self._pending_cols = [col[limit:] for col in cols]
+            cols = [col[:limit] for col in cols]
+            count = limit
+        else:
+            self._pending_cols = None
+        return ColumnBatch.from_columns(self.schema, cols, count)
+
+    def next_batch(self, max_rows=None):
+        if self._iterator is None:
+            raise ExecutionError("TableScan.next_batch() before open()")
+        limit = max_rows if max_rows is not None else self.batch_size
+        if self.batch_layout == "columnar" and callable(
+            getattr(self.table, "scan_column_batches", None)
+        ):
+            return self._next_column_batch(limit)
+        rows = self._gather_rows(limit)
+        if rows is None:
+            return Operator.next_batch(self, limit)
+        if not rows:
+            return None
+        if self.batch_layout == "columnar":
+            return self.make_batch(rows)
         return RowBatch(self.schema, rows)
 
     def close(self):
         self._iterator = None
         self._batch_iterator = None
         self._pending = []
+        self._pending_cols = None
 
     def label(self):
         return "Scan: {}".format(self.qualifier)
@@ -74,10 +136,15 @@ class RowsScan(Operator):
         self.name = name
         self.children = ()
         self._position = None
+        self._columns = None
 
     def open(self, bindings=None):
         self._reject_bindings(bindings)
         self._position = 0
+        # Subclasses may rebuild ``rows_data`` per open (e.g. scans whose
+        # rows embed freshly registered calls), so the typed pivot cannot
+        # outlive one open/close cycle.
+        self._columns = None
 
     def next(self):
         if self._position is None:
@@ -95,6 +162,22 @@ class RowsScan(Operator):
         start = self._position
         if start >= len(self.rows_data):
             return None
+        if self.batch_layout == "columnar":
+            # The row list is immutable while the scan is open, so the
+            # typed pivot is computed once per open and sliced per batch
+            # (array slices stay arrays: no per-batch re-typing).
+            if self._columns is None:
+                self._columns = [
+                    type_column(values, column.type)
+                    for values, column in zip(zip(*self.rows_data), self.schema)
+                ]
+            stop = min(start + limit, len(self.rows_data))
+            self._position = stop
+            return ColumnBatch.from_columns(
+                self.schema,
+                [col[start:stop] for col in self._columns],
+                stop - start,
+            )
         rows = self.rows_data[start : start + limit]
         self._position = start + len(rows)
         return RowBatch(self.schema, rows)

@@ -3,7 +3,7 @@
 import functools
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
+from repro.relational.expr import compile_column_eval
 from repro.util.errors import ExecutionError
 
 
@@ -42,16 +42,25 @@ class Sort(Operator):
     def open(self, bindings=None):
         self._reject_bindings(bindings)
         self.child.open()
-        rows = []
+        # Columnar layout: extract each key as one column gather per
+        # batch (kernel-compiled) instead of a per-row tuple build.
+        evaluators = None
+        if self.batch_layout == "columnar" and self.keys:
+            evaluators = [compile_column_eval(expr) for expr, _ in self.keys]
+        decorated = []
         while True:
             batch = self.child.next_batch(self.batch_size)
             if batch is None:
                 break
-            rows.extend(batch)
+            if evaluators is not None:
+                key_columns = [evaluate(batch) for evaluate in evaluators]
+                decorated.extend(zip(zip(*key_columns), batch.to_rows()))
+            else:
+                decorated.extend(
+                    (tuple(expr.eval(row) for expr, _ in self.keys), row)
+                    for row in batch
+                )
         self.child.close()
-        decorated = [
-            (tuple(expr.eval(row) for expr, _ in self.keys), row) for row in rows
-        ]
         comparator = self._make_comparator()
         decorated.sort(key=functools.cmp_to_key(comparator))
         self._buffer = [row for _, row in decorated]
@@ -87,7 +96,7 @@ class Sort(Operator):
             return None
         rows = self._buffer[start : start + limit]
         self._position = start + len(rows)
-        return RowBatch(self.schema, rows)
+        return self.make_batch(rows)
 
     def close(self):
         self._buffer = None

@@ -6,7 +6,6 @@ Distinct`` above it, letting ReqSync rise through the union.
 """
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
 from repro.util.errors import ExecutionError
 
 
@@ -63,8 +62,9 @@ class UnionAll(Operator):
             self.right.close()
             self._stage = 2
             return None
-        # Re-tag with the union's (left-derived) schema.
-        return RowBatch(self.schema, batch.to_rows())
+        # Re-tag with the union's (left-derived) schema (zero-copy in
+        # either layout).
+        return batch.with_schema(self.schema)
 
     def close(self):
         if self._stage == 0:

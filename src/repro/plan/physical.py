@@ -34,6 +34,12 @@ class ExecOptions:
     ``batch_size``
         Row granularity stamped over the lowered tree (``None`` = the
         operator default, see :func:`repro.exec.operator.set_batch_size`).
+    ``batch_layout``
+        Batch container stamped over the lowered tree
+        (``"columnar"``/``"row"``; ``None`` = the operator default, see
+        :func:`repro.exec.operator.set_batch_layout`).  Semantically
+        invisible — it selects the column-kernel fast paths vs the
+        row-of-tuples pipeline.
     ``wait_timeout``
         Per-wave ReqSync timeout in seconds (``None`` = operator
         default).
@@ -56,7 +62,7 @@ class ExecOptions:
     """
 
     __slots__ = (
-        "on_error", "batch_size", "wait_timeout", "stream",
+        "on_error", "batch_size", "batch_layout", "wait_timeout", "stream",
         "cache_tier", "cache_ttl", "deadline",
     )
 
@@ -64,6 +70,7 @@ class ExecOptions:
         self,
         on_error=DEFAULT_ON_ERROR,
         batch_size=None,
+        batch_layout=None,
         wait_timeout=None,
         stream=False,
         cache_tier=None,
@@ -76,8 +83,18 @@ class ExecOptions:
                     on_error
                 )
             )
+        if batch_layout is not None:
+            from repro.relational.batch import BATCH_LAYOUTS
+
+            if batch_layout not in BATCH_LAYOUTS:
+                raise PlanError(
+                    "unknown batch_layout {!r}; expected {}".format(
+                        batch_layout, "/".join(BATCH_LAYOUTS)
+                    )
+                )
         self.on_error = on_error
         self.batch_size = batch_size
+        self.batch_layout = batch_layout
         self.wait_timeout = wait_timeout
         self.stream = stream
         self.cache_tier = cache_tier
@@ -91,6 +108,7 @@ class ExecOptions:
         rewrite_settings=None,
         on_error=None,
         batch_size=None,
+        batch_layout=None,
         cache=None,
         deadline=None,
     ):
@@ -98,11 +116,12 @@ class ExecOptions:
 
         Precedence (most specific wins):
 
-        1. explicit ``on_error`` / ``batch_size`` arguments (engine-level
-           overrides);
+        1. explicit ``on_error`` / ``batch_size`` / ``batch_layout``
+           arguments (engine-level overrides);
         2. ``RewriteSettings`` values, when set (non-``None``);
         3. ``PlannerOptions`` values, when set;
-        4. the defaults (``"raise"`` / operator-default batch size).
+        4. the defaults (``"raise"`` / operator-default batch size and
+           layout).
 
         This fixes the historical drift where
         ``RewriteSettings(on_error=None)`` silently meant "operator
@@ -111,22 +130,28 @@ class ExecOptions:
         """
         resolved_on_error = None
         resolved_batch = None
+        resolved_layout = None
         wait_timeout = None
         stream = False
         if planner_options is not None:
             resolved_on_error = getattr(planner_options, "on_error", None)
             resolved_batch = getattr(planner_options, "batch_size", None)
+            resolved_layout = getattr(planner_options, "batch_layout", None)
         if rewrite_settings is not None:
             if getattr(rewrite_settings, "on_error", None) is not None:
                 resolved_on_error = rewrite_settings.on_error
             if getattr(rewrite_settings, "batch_size", None) is not None:
                 resolved_batch = rewrite_settings.batch_size
+            if getattr(rewrite_settings, "batch_layout", None) is not None:
+                resolved_layout = rewrite_settings.batch_layout
             wait_timeout = getattr(rewrite_settings, "wait_timeout", None)
             stream = bool(getattr(rewrite_settings, "stream", False))
         if on_error is not None:
             resolved_on_error = on_error
         if batch_size is not None:
             resolved_batch = batch_size
+        if batch_layout is not None:
+            resolved_layout = batch_layout
         cache_tier = None
         cache_ttl = None
         if cache is not None:
@@ -137,6 +162,7 @@ class ExecOptions:
         return cls(
             on_error=resolved_on_error or DEFAULT_ON_ERROR,
             batch_size=resolved_batch,
+            batch_layout=resolved_layout,
             wait_timeout=wait_timeout,
             stream=stream,
             cache_tier=cache_tier if cache is not None else "off",
@@ -146,10 +172,12 @@ class ExecOptions:
 
     def __repr__(self):
         return (
-            "ExecOptions(on_error={!r}, batch_size={!r}, wait_timeout={!r}, "
-            "stream={!r}, cache_tier={!r}, cache_ttl={!r}, deadline={!r})".format(
-                self.on_error, self.batch_size, self.wait_timeout, self.stream,
-                self.cache_tier, self.cache_ttl, self.deadline,
+            "ExecOptions(on_error={!r}, batch_size={!r}, batch_layout={!r}, "
+            "wait_timeout={!r}, stream={!r}, cache_tier={!r}, cache_ttl={!r}, "
+            "deadline={!r})".format(
+                self.on_error, self.batch_size, self.batch_layout,
+                self.wait_timeout, self.stream, self.cache_tier,
+                self.cache_ttl, self.deadline,
             )
         )
 
@@ -169,6 +197,10 @@ def lower(node, options=None, context=None):
         from repro.exec.operator import set_batch_size
 
         set_batch_size(plan, options.batch_size)
+    if options.batch_layout is not None:
+        from repro.exec.operator import set_batch_layout
+
+        set_batch_layout(plan, options.batch_layout)
     return plan
 
 

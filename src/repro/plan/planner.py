@@ -48,6 +48,7 @@ class PlannerOptions:
         cost_reorder=False,
         on_error="raise",
         batch_size=None,
+        batch_layout=None,
         logical_rules=None,
     ):
         #: Reorder FROM items so virtual tables follow their providers
@@ -72,6 +73,11 @@ class PlannerOptions:
         #: the ``REPRO_BATCH_SIZE`` environment override).  ``1``
         #: degenerates batching to the exact row-at-a-time schedule.
         self.batch_size = batch_size
+        #: Batch container stamped over every operator of a produced plan
+        #: (``"columnar"``/``"row"``; ``None`` = the per-operator
+        #: default, i.e. columnar or the ``REPRO_BATCH_LAYOUT``
+        #: environment override).  Semantically invisible.
+        self.batch_layout = batch_layout
         #: Opt-in logical rule packs run by ``Planner.optimize`` — pack
         #: names (``"pushdown"``/``"prune"``/``"reorder"``), Rule
         #: classes, or Rule instances (see :data:`repro.plan.rules.PACKS`).

@@ -9,9 +9,14 @@ emits the bound expressions defined here.
 from repro.relational.types import DataType, coerce_value, infer_literal_type
 from repro.relational.schema import Column, Schema
 from repro.relational.batch import (
+    BATCH_LAYOUTS,
+    DEFAULT_BATCH_LAYOUT,
     DEFAULT_BATCH_SIZE,
+    ColumnBatch,
     RowBatch,
+    default_batch_layout,
     default_batch_size,
+    type_column,
 )
 from repro.relational.expr import (
     BinaryOp,
@@ -25,6 +30,10 @@ from repro.relational.expr import (
     compile_batch_eval,
     compile_batch_predicate,
     compile_batch_projection,
+    compile_column_eval,
+    compile_column_predicate,
+    compile_column_projection,
+    kernel_stats,
 )
 from repro.relational.placeholder import (
     Placeholder,
@@ -33,7 +42,10 @@ from repro.relational.placeholder import (
 )
 
 __all__ = [
+    "BATCH_LAYOUTS",
+    "DEFAULT_BATCH_LAYOUT",
     "DEFAULT_BATCH_SIZE",
+    "ColumnBatch",
     "Placeholder",
     "RowBatch",
     "is_placeholder",
@@ -53,6 +65,12 @@ __all__ = [
     "compile_batch_eval",
     "compile_batch_predicate",
     "compile_batch_projection",
+    "compile_column_eval",
+    "compile_column_predicate",
+    "compile_column_projection",
+    "default_batch_layout",
     "default_batch_size",
     "infer_literal_type",
+    "kernel_stats",
+    "type_column",
 ]

@@ -1,4 +1,4 @@
-"""RowBatch: the unit of vectorized (batch-at-a-time) execution.
+"""RowBatch / ColumnBatch: the units of vectorized (batch-at-a-time) execution.
 
 The Volcano iterator contract (``open/next/close``) pays one Python
 virtual-call round trip through the whole operator stack *per tuple*.
@@ -8,23 +8,40 @@ WSQ-specific payoff is that an :class:`~repro.asynciter.aevscan.AEVScan`
 can register a whole batch of external calls with the request pump in a
 single operator round trip.
 
-A :class:`RowBatch` is
+Two batch layouts implement one logical contract:
+
+- :class:`RowBatch` (the original, ``batch_layout="row"``) carries a list
+  of row tuples;
+- :class:`ColumnBatch` (``batch_layout="columnar"``, the default) carries
+  one vector per attribute, with INT/FLOAT columns stored in typed
+  ``array('q')``/``array('d')`` buffers when their values allow it.  A
+  typed array *proves* the column holds only clean numbers (no NULLs, no
+  placeholders), which is what lets the compiled kernels in
+  :mod:`repro.relational.expr` skip every per-value guard.
+
+Both are
 
 - **schema-carrying**: ``batch.schema`` is the producing operator's
   output :class:`~repro.relational.schema.Schema`;
 - **column-accessible**: ``batch.column(i)`` materializes one attribute
-  across the (selected) rows, which is what the vectorized expression
-  evaluators in :mod:`repro.relational.expr` consume;
-- **selection-aware**: a *selection vector* (a list of indexes into
-  ``rows``) lets a filter "delete" rows without copying the batch —
-  iteration, ``len()``, and ``column()`` all respect it.
+  across the (selected) rows;
+- **selection-aware**: a *selection vector* (a list of indexes into the
+  backing rows/columns) lets a filter "delete" rows without copying the
+  batch — iteration, ``len()``, and ``column()`` all respect it.
+  :meth:`narrow` composes selections *flat*: narrowing an
+  already-narrowed batch materializes the composed vector once, so
+  chained filters never stack indirections.
 
-Rows remain plain Python tuples (the same objects the row-at-a-time
-path produces), so placeholders, patching, and every existing helper
-work unchanged on batch contents.
+``to_rows()`` / ``from_rows()`` bridge the two layouts: rows are plain
+Python tuples either way (the same objects the row-at-a-time path
+produces), so placeholders, patching, and every existing helper work
+unchanged on batch contents.
 """
 
 import os
+from array import array
+
+from repro.relational.types import DataType
 
 #: Hard default when neither the engine nor the environment says otherwise.
 DEFAULT_BATCH_SIZE = 256
@@ -33,6 +50,16 @@ DEFAULT_BATCH_SIZE = 256
 #: suite under ``REPRO_BATCH_SIZE=1`` to pin degenerate batching to the
 #: row-at-a-time semantics).
 BATCH_SIZE_ENV = "REPRO_BATCH_SIZE"
+
+#: The two batch layouts every operator understands.
+BATCH_LAYOUTS = ("columnar", "row")
+
+#: Hard default layout (column-major with compiled kernels).
+DEFAULT_BATCH_LAYOUT = "columnar"
+
+#: Environment override, mirroring ``REPRO_BATCH_SIZE`` (CI runs a
+#: ``REPRO_BATCH_LAYOUT=row`` leg to keep the row-major fallback green).
+BATCH_LAYOUT_ENV = "REPRO_BATCH_LAYOUT"
 
 
 def default_batch_size():
@@ -51,6 +78,52 @@ def default_batch_size():
             )
         return value
     return DEFAULT_BATCH_SIZE
+
+
+def default_batch_layout():
+    """The process-wide default batch layout (env-overridable)."""
+    raw = os.environ.get(BATCH_LAYOUT_ENV)
+    if raw:
+        value = raw.strip().lower()
+        if value not in BATCH_LAYOUTS:
+            raise ValueError(
+                "{}={!r} must be one of {}".format(
+                    BATCH_LAYOUT_ENV, raw, "/".join(BATCH_LAYOUTS)
+                )
+            )
+        return value
+    return DEFAULT_BATCH_LAYOUT
+
+
+#: Schema types that get typed array storage when their values are clean.
+_TYPECODES = {DataType.INT: "q", DataType.FLOAT: "d"}
+
+
+def type_column(values, data_type):
+    """Store *values* in the tightest container *data_type* allows.
+
+    INT/FLOAT columns whose values are all clean numbers become typed
+    ``array`` buffers (compact, C-speed iteration, and a structural proof
+    of "no NULLs / no placeholders" the expression kernels exploit).
+    Anything else — strings, NULLs, placeholders, type-lying rows — stays
+    a plain list, which the guarded evaluation paths handle exactly.
+    """
+    code = _TYPECODES.get(data_type)
+    if code is not None:
+        try:
+            return array(code, values)
+        except (TypeError, ValueError, OverflowError):
+            pass
+    if isinstance(values, (list, array)):
+        return values
+    return list(values)
+
+
+def _gather(column, selection):
+    """*column* restricted to *selection*, preserving typed-array storage."""
+    if isinstance(column, array):
+        return array(column.typecode, [column[i] for i in selection])
+    return [column[i] for i in selection]
 
 
 class RowBatch:
@@ -77,16 +150,25 @@ class RowBatch:
         """A dense batch over *rows* (materialized as a list)."""
         return cls(schema, list(rows))
 
-    def select(self, indexes):
+    def narrow(self, indexes):
         """A new batch sharing ``rows`` but keeping only *indexes*.
 
-        *indexes* are positions in this batch's logical order (i.e. they
-        compose with any existing selection).
+        *indexes* are positions in this batch's logical order.  Narrowing
+        an already-narrowed batch materializes the *composed* vector once
+        (one flat list of base indexes), so repeated narrowing never
+        builds chains of index lookups.
         """
         if self.selection is None:
             return RowBatch(self.schema, self.rows, list(indexes))
         base = self.selection
         return RowBatch(self.schema, self.rows, [base[i] for i in indexes])
+
+    #: Historical name for :meth:`narrow`.
+    select = narrow
+
+    def with_schema(self, schema):
+        """This batch re-tagged with *schema* (zero-copy)."""
+        return RowBatch(schema, self.rows, self.selection)
 
     # -- access -------------------------------------------------------------
 
@@ -132,5 +214,133 @@ class RowBatch:
         return "RowBatch({} rows, {} cols{})".format(
             len(self),
             len(self.schema) if self.schema is not None else "?",
+            ", selected" if self.selection is not None else "",
+        )
+
+
+class ColumnBatch:
+    """Column-major batch: one vector per attribute plus a selection vector.
+
+    ``data[i]`` holds attribute *i* across all backing rows — a typed
+    ``array`` for clean INT/FLOAT columns, a plain list otherwise (see
+    :func:`type_column`).  ``rowcount`` is the backing length;
+    ``selection`` (when not ``None``) lists the logically present row
+    positions, exactly like :class:`RowBatch`.
+
+    The batch is read-only by convention: operators narrow (sharing the
+    column buffers) or build new batches, never mutate vectors in place.
+    """
+
+    __slots__ = ("schema", "data", "rowcount", "selection")
+
+    def __init__(self, schema, columns, rowcount, selection=None):
+        self.schema = schema
+        self.data = columns
+        self.rowcount = rowcount
+        self.selection = selection
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema, rows):
+        """Pivot *rows* (tuples) into schema-typed columns."""
+        if not isinstance(rows, list):
+            rows = list(rows)
+        count = len(rows)
+        if schema is not None:
+            types = [column.type for column in schema]
+        elif rows:
+            types = [None] * len(rows[0])
+        else:
+            types = []
+        if count:
+            columns = [
+                type_column(values, data_type)
+                for values, data_type in zip(zip(*rows), types)
+            ]
+        else:
+            columns = [type_column((), data_type) for data_type in types]
+        return cls(schema, columns, count)
+
+    @classmethod
+    def from_columns(cls, schema, columns, rowcount=None):
+        """A dense batch over pre-built column vectors (no re-typing)."""
+        columns = list(columns)
+        if rowcount is None:
+            rowcount = len(columns[0]) if columns else 0
+        return cls(schema, columns, rowcount)
+
+    def narrow(self, indexes):
+        """A new batch sharing the column buffers, keeping only *indexes*.
+
+        Same flat-composition contract as :meth:`RowBatch.narrow`.
+        """
+        if self.selection is None:
+            return ColumnBatch(self.schema, self.data, self.rowcount, list(indexes))
+        base = self.selection
+        return ColumnBatch(
+            self.schema, self.data, self.rowcount, [base[i] for i in indexes]
+        )
+
+    #: Historical name for :meth:`narrow`.
+    select = narrow
+
+    def with_schema(self, schema):
+        """This batch re-tagged with *schema* (zero-copy)."""
+        return ColumnBatch(schema, self.data, self.rowcount, self.selection)
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self):
+        if self.selection is not None:
+            return len(self.selection)
+        return self.rowcount
+
+    def __bool__(self):
+        return len(self) > 0
+
+    def __iter__(self):
+        return iter(self.to_rows())
+
+    def to_rows(self):
+        """The selected rows as a dense list of tuples."""
+        data = self.data
+        if not data:
+            return [()] * len(self)
+        if self.selection is None:
+            return list(zip(*data))
+        selection = self.selection
+        return list(zip(*[_gather(column, selection) for column in data]))
+
+    def compact(self):
+        """This batch with any selection applied (dense columns, no vector)."""
+        if self.selection is None:
+            return self
+        selection = self.selection
+        columns = [_gather(column, selection) for column in self.data]
+        return ColumnBatch(self.schema, columns, len(selection))
+
+    def column(self, index):
+        """Attribute *index* across the selected rows.
+
+        Dense batches return the backing vector itself (zero-copy — do
+        not mutate); narrowed batches gather, preserving typed storage.
+        """
+        column = self.data[index]
+        if self.selection is None:
+            return column
+        return _gather(column, self.selection)
+
+    def columns(self):
+        """Every attribute as a list of column vectors (dense: zero-copy)."""
+        if self.selection is None:
+            return list(self.data)
+        selection = self.selection
+        return [_gather(column, selection) for column in self.data]
+
+    def __repr__(self):
+        return "ColumnBatch({} rows, {} cols{})".format(
+            len(self),
+            len(self.data),
             ", selected" if self.selection is not None else "",
         )

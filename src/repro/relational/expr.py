@@ -11,6 +11,8 @@ non-True result as "drop the row".
 """
 
 import operator
+from array import array
+from itertools import repeat
 
 from repro.relational.placeholder import Placeholder, require_concrete
 from repro.relational.types import DataType, common_numeric_type, infer_literal_type
@@ -728,6 +730,447 @@ def compile_batch_projection(expressions):
     def project(rows):
         columns = [getter(rows) for getter in getters]
         return list(zip(*columns))
+
+    return project
+
+
+# -- column-at-a-time (kernel) evaluation -------------------------------------
+#
+# The columnar executor compiles a BoundExpr tree once per operator
+# ``open()`` into a *kernel*: a closure ``(cols, n) -> values`` over
+# dense column vectors instead of row tuples.  Typed ``array`` columns
+# (see :func:`repro.relational.batch.type_column`) structurally prove
+# "only clean numbers here", so the hot loops drop every per-value
+# guard; anything else (NULLs, placeholders, strings, mixed types) takes
+# a guarded per-element loop or — for short-circuit-sensitive shapes —
+# falls back to the exact row-wise evaluator over ``zip(*cols)``.
+# Semantics are identical to row-at-a-time evaluation either way: same
+# results, same error type at the same logical row.
+
+#: Process-global kernel counters, surfaced as ``batch.kernel_compiled``
+#: / ``batch.kernel_invoked`` metrics by the engine (see
+#: :meth:`repro.wsq.engine.WsqEngine._drain_batches`).
+_KERNEL_STATS = {"compiled": 0, "invoked": 0}
+
+
+def kernel_stats():
+    """A snapshot of the process-wide kernel compile/invoke counters."""
+    return dict(_KERNEL_STATS)
+
+
+def _guard_value(value, context):
+    """The exact per-value read semantics of :meth:`ColumnRef.eval`."""
+    if isinstance(value, Placeholder):
+        require_concrete(value, context=context)
+    return value
+
+
+def _clean_literal(expr):
+    """The literal's value when it can never NULL- or type-surprise a
+    numeric array operand, else ``None`` (as a no-match marker)."""
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float)):
+        return expr.value
+    return None
+
+
+def _rowwise_kernel(expr):
+    """Exact fallback: pivot columns back to rows, run the scalar closure.
+
+    Used for shapes where column-at-a-time evaluation could change which
+    error fires first (per-row AND/OR short-circuit, LIKE, subqueries).
+    The caller gathers only ``expr.referenced_columns()`` — a complete
+    contract on every expression type — so unmaterialized slots can
+    never be read and are pivoted as ``None`` streams.
+    """
+    scalar = compile_scalar_eval(expr)
+
+    def kernel(cols, n):
+        if not cols:
+            empty = ()
+            return [scalar(empty) for _ in range(n)]
+        pivot = [repeat(None, n) if col is None else col for col in cols]
+        return [scalar(row) for row in zip(*pivot)]
+
+    return kernel
+
+
+def _columnref_kernel(expr):
+    index = expr.index
+    context = expr.sql()
+
+    def kernel(cols, n):
+        col = cols[index]
+        if isinstance(col, array):
+            return col
+        for value in col:
+            if isinstance(value, Placeholder):
+                require_concrete(value, context=context)
+        return col
+
+    return kernel
+
+
+def _comparison_kernel(expr):
+    """Kernel + safe column refs for a comparison, or ``(None, None)``.
+
+    The second element lists the referenced column indexes when the
+    comparison is *array-safe*: operands are column refs / numeric
+    literals, so if every referenced column is a typed array the kernel
+    can neither raise nor return NULL — which is what lets AND/OR
+    combine term masks without observable short-circuit differences.
+    """
+    compare = _COMPARATORS[expr.op]
+    left, right = expr.left, expr.right
+
+    if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        li, ri = left.index, right.index
+        lctx, rctx = left.sql(), right.sql()
+
+        def colcol(cols, n):
+            a, b = cols[li], cols[ri]
+            if isinstance(a, array) and isinstance(b, array):
+                return [compare(x, y) for x, y in zip(a, b)]
+            out = []
+            append = out.append
+            for x, y in zip(a, b):
+                x = _guard_value(x, lctx)
+                y = _guard_value(y, rctx)
+                if x is None or y is None:
+                    append(None)
+                elif isinstance(x, str) != isinstance(y, str):
+                    raise TypeMismatchError(
+                        "cannot compare {!r} with {!r}".format(x, y)
+                    )
+                else:
+                    append(compare(x, y))
+            return out
+
+        return colcol, (li, ri)
+
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        index, context = left.index, left.sql()
+        value = right.value
+        clean = _clean_literal(right) is not None
+        value_is_str = isinstance(value, str)
+
+        def collit(cols, n):
+            col = cols[index]
+            if clean and isinstance(col, array):
+                return [compare(x, value) for x in col]
+            out = []
+            append = out.append
+            for x in col:
+                x = _guard_value(x, context)
+                if x is None or value is None:
+                    append(None)
+                elif isinstance(x, str) != value_is_str:
+                    raise TypeMismatchError(
+                        "cannot compare {!r} with {!r}".format(x, value)
+                    )
+                else:
+                    append(compare(x, value))
+            return out
+
+        return collit, ((index,) if clean else None)
+
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        value = left.value
+        index, context = right.index, right.sql()
+        clean = _clean_literal(left) is not None
+        value_is_str = isinstance(value, str)
+
+        def litcol(cols, n):
+            col = cols[index]
+            if clean and isinstance(col, array):
+                return [compare(value, y) for y in col]
+            out = []
+            append = out.append
+            for y in col:
+                y = _guard_value(y, context)
+                if value is None or y is None:
+                    append(None)
+                elif value_is_str != isinstance(y, str):
+                    raise TypeMismatchError(
+                        "cannot compare {!r} with {!r}".format(value, y)
+                    )
+                else:
+                    append(compare(value, y))
+            return out
+
+        return litcol, ((index,) if clean else None)
+
+    return None, None
+
+
+def _binaryop_kernel(expr):
+    """Kernel for arithmetic over column/literal operands, or ``None``."""
+    op = expr.op
+    arith = _ARITH_OPS[op]
+    left, right = expr.left, expr.right
+
+    if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        li, ri = left.index, right.index
+        lctx, rctx = left.sql(), right.sql()
+
+        def colcol(cols, n):
+            a, b = cols[li], cols[ri]
+            fast = isinstance(a, array) and isinstance(b, array)
+            if fast and op != "/":
+                return [arith(x, y) for x, y in zip(a, b)]
+            if fast:
+                return [None if y == 0 else x / y for x, y in zip(a, b)]
+            out = []
+            append = out.append
+            for x, y in zip(a, b):
+                x = _guard_value(x, lctx)
+                y = _guard_value(y, rctx)
+                if x is None or y is None:
+                    append(None)
+                elif op == "/":
+                    append(None if y == 0 else x / y)
+                else:
+                    append(arith(x, y))
+            return out
+
+        return colcol
+
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        index, context = left.index, left.sql()
+        value = right.value
+        clean = _clean_literal(right) is not None
+
+        def collit(cols, n):
+            col = cols[index]
+            if clean and isinstance(col, array):
+                if op == "/":
+                    if value == 0:
+                        return [None] * n
+                    return [x / value for x in col]
+                return [arith(x, value) for x in col]
+            out = []
+            append = out.append
+            for x in col:
+                x = _guard_value(x, context)
+                if x is None or value is None:
+                    append(None)
+                elif op == "/":
+                    append(None if value == 0 else x / value)
+                else:
+                    append(arith(x, value))
+            return out
+
+        return collit
+
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        value = left.value
+        index, context = right.index, right.sql()
+        clean = _clean_literal(left) is not None
+
+        def litcol(cols, n):
+            col = cols[index]
+            if clean and isinstance(col, array):
+                if op == "/":
+                    return [None if y == 0 else value / y for y in col]
+                return [arith(value, y) for y in col]
+            out = []
+            append = out.append
+            for y in col:
+                y = _guard_value(y, context)
+                if value is None or y is None:
+                    append(None)
+                elif op == "/":
+                    append(None if y == 0 else value / y)
+                else:
+                    append(arith(value, y))
+            return out
+
+        return litcol
+
+    return None
+
+
+def _logic_kernel(expr):
+    """Mask-combining kernel for AND/OR, or ``None``.
+
+    Row-at-a-time AND/OR short-circuits *per row* — a row whose first
+    conjunct is False must never evaluate (and possibly raise on) the
+    second.  Combining term masks evaluates every term for every row, so
+    it is only used when that difference is unobservable: every term is
+    an array-safe comparison (see :func:`_comparison_kernel`) *and*, at
+    runtime, every referenced column actually is a typed array — then no
+    term can raise or produce NULL, and the combine is pure boolean
+    algebra.  Otherwise the kernel defers to the exact row-wise path.
+    """
+    is_and = isinstance(expr, Conjunction)
+    terms = []
+    refs = set()
+    for term in expr.terms:
+        kernel, safe = _comparison_kernel(term) if isinstance(term, Comparison) else (None, None)
+        if kernel is None or safe is None:
+            return None
+        terms.append(kernel)
+        refs.update(safe)
+    refs = sorted(refs)
+    rowwise = _rowwise_kernel(expr)
+
+    def kernel(cols, n):
+        for i in refs:
+            if not isinstance(cols[i], array):
+                return rowwise(cols, n)
+        out = list(terms[0](cols, n))
+        for term in terms[1:]:
+            mask = term(cols, n)
+            if is_and:
+                out = [a and b for a, b in zip(out, mask)]
+            else:
+                out = [a or b for a, b in zip(out, mask)]
+        return out
+
+    return kernel
+
+
+def _column_kernel(expr):
+    """The best column kernel for *expr* (exact; falls back to row-wise)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda cols, n: [value] * n
+    if isinstance(expr, ColumnRef):
+        return _columnref_kernel(expr)
+    if isinstance(expr, Comparison):
+        kernel, _ = _comparison_kernel(expr)
+        if kernel is not None:
+            return kernel
+        return _rowwise_kernel(expr)
+    if isinstance(expr, BinaryOp):
+        kernel = _binaryop_kernel(expr)
+        if kernel is not None:
+            return kernel
+        return _rowwise_kernel(expr)
+    if isinstance(expr, (Conjunction, Disjunction)):
+        kernel = _logic_kernel(expr)
+        if kernel is not None:
+            return kernel
+        return _rowwise_kernel(expr)
+    if isinstance(expr, Negation):
+        term = _column_kernel(expr.term)
+
+        def negation(cols, n):
+            return [None if v is None else not v for v in term(cols, n)]
+
+        return negation
+    return _rowwise_kernel(expr)
+
+
+def _gather_columns(batch, refs, width):
+    """A sparse column list for *batch*: only *refs* are materialized.
+
+    Kernels index columns by absolute position, but a predicate usually
+    touches a few of them — unreferenced slots stay ``None`` so a
+    narrowed batch never gathers columns nobody reads.
+    """
+    cols = [None] * width
+    for i in refs:
+        cols[i] = batch.column(i)
+    return cols
+
+
+def _kernel_width(expr_refs, batch):
+    if batch.schema is not None:
+        return len(batch.schema)
+    return (max(expr_refs) + 1) if expr_refs else 0
+
+
+def compile_column_eval(expr):
+    """Compile *expr* into a ``batch -> [values]`` column evaluator.
+
+    Call once per operator ``open()``.  Exact row-at-a-time semantics
+    (same values, same error at the same logical row) with typed-array
+    fast paths when the batch's columns allow them.
+    """
+    _KERNEL_STATS["compiled"] += 1
+    kernel = _column_kernel(expr)
+    refs = sorted(expr.referenced_columns())
+
+    def evaluate(batch):
+        _KERNEL_STATS["invoked"] += 1
+        cols = _gather_columns(batch, refs, _kernel_width(refs, batch))
+        return kernel(cols, len(batch))
+
+    return evaluate
+
+
+def compile_column_predicate(expr):
+    """Compile a predicate into ``batch -> selection`` (positions where True).
+
+    The columnar twin of :func:`compile_batch_predicate`: rows whose
+    predicate is False *or NULL* are dropped.  The common hot shape —
+    a comparison of a typed array column against a numeric literal —
+    emits the selection vector directly from the array, skipping the
+    intermediate truth-value list.
+    """
+    _KERNEL_STATS["compiled"] += 1
+    kernel = _column_kernel(expr)
+    refs = sorted(expr.referenced_columns())
+
+    direct = None
+    if isinstance(expr, Comparison):
+        if isinstance(expr.left, ColumnRef):
+            value = _clean_literal(expr.right)
+            if value is not None:
+                direct = (_COMPARATORS[expr.op], expr.left.index, value, False)
+        elif isinstance(expr.right, ColumnRef):
+            value = _clean_literal(expr.left)
+            if value is not None:
+                direct = (_COMPARATORS[expr.op], expr.right.index, value, True)
+
+    def predicate(batch):
+        _KERNEL_STATS["invoked"] += 1
+        cols = _gather_columns(batch, refs, _kernel_width(refs, batch))
+        if direct is not None:
+            compare, index, value, flipped = direct
+            col = cols[index]
+            if isinstance(col, array):
+                if flipped:
+                    return [i for i, v in enumerate(col) if compare(value, v)]
+                return [i for i, v in enumerate(col) if compare(v, value)]
+        values = kernel(cols, len(batch))
+        return [i for i, v in enumerate(values) if v is True]
+
+    return predicate
+
+
+def compile_column_projection(expressions):
+    """Compile projections into ``batch -> [column vectors]``.
+
+    The columnar twin of :func:`compile_batch_projection`: bare column
+    references are passed through *raw* (zero-copy on dense batches,
+    placeholders flow, mirroring :meth:`ColumnRef.raw`), computed
+    expressions run as column kernels with the usual guards.
+    """
+    _KERNEL_STATS["compiled"] += 1
+    plans = []
+    refs = set()
+    for expr in expressions:
+        if isinstance(expr, ColumnRef):
+            plans.append((expr.index, None))
+        else:
+            plans.append((None, _column_kernel(expr)))
+            refs |= expr.referenced_columns()
+    refs = sorted(refs)
+
+    def project(batch):
+        _KERNEL_STATS["invoked"] += 1
+        n = len(batch)
+        cols = None
+        out = []
+        for raw_index, kernel in plans:
+            if kernel is None:
+                out.append(batch.column(raw_index))
+            else:
+                if cols is None:
+                    cols = _gather_columns(batch, refs, _kernel_width(refs, batch))
+                out.append(kernel(cols, n))
+        return out
 
     return project
 

@@ -1,5 +1,6 @@
 """Typed table API over a heap file."""
 
+from repro.relational.batch import type_column
 from repro.storage.serialization import decode_record, encode_record
 from repro.util.errors import StorageError
 
@@ -57,6 +58,27 @@ class Table:
         schema = self.schema
         for chunk in self.heap.scan_batches():
             yield [decode_record(record, schema) for _, record in chunk]
+
+    def scan_column_batches(self):
+        """Yield schema-typed column vectors, one group per heap page.
+
+        The columnar twin of :meth:`scan_batches`: each yielded value is
+        a list of per-attribute vectors (typed ``array`` for clean
+        INT/FLOAT columns, plain lists otherwise) covering the page's
+        rows in storage order.  This feeds ``TableScan`` in the columnar
+        batch layout, so pages decode straight into the layout the
+        operators execute on.
+        """
+        schema = self.schema
+        types = [column.type for column in schema]
+        for chunk in self.heap.scan_batches():
+            rows = [decode_record(record, schema) for _, record in chunk]
+            if not rows:
+                continue
+            yield [
+                type_column(values, data_type)
+                for values, data_type in zip(zip(*rows), types)
+            ]
 
     def scan_with_rids(self):
         for rid, record in self.heap.scan():

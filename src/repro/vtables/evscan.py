@@ -13,7 +13,6 @@ result, and ``"null"`` yields one row whose external attributes are NULL.
 """
 
 from repro.exec.operator import Operator
-from repro.relational.batch import RowBatch
 from repro.obs.trace import (
     CALL_COMPLETE,
     CALL_FAIL,
@@ -187,7 +186,7 @@ class EVScan(Operator):
             return None
         rows = self._rows[start : start + limit]
         self._position = start + len(rows)
-        return RowBatch(self.schema, rows)
+        return self.make_batch(rows)
 
     def close(self):
         self._rows = None

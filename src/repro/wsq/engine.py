@@ -11,7 +11,8 @@ from repro.obs.trace import BEGIN, END, QUERY_SPAN, Tracer
 from repro.plan import logical as logical_ir
 from repro.plan.physical import ExecOptions, lower
 from repro.plan.planner import Planner, PlannerOptions
-from repro.relational.batch import default_batch_size
+from repro.relational.batch import default_batch_layout, default_batch_size
+from repro.relational.expr import kernel_stats
 from repro.sql import ast
 from repro.sql.parser import parse, parse_select
 from repro.storage.database import Database
@@ -84,6 +85,7 @@ class WsqEngine:
         on_error=None,
         obs=None,
         batch_size=None,
+        batch_layout=None,
         single_flight=None,
         calibration=None,
     ):
@@ -169,6 +171,20 @@ class WsqEngine:
         )
         if self.rewrite_settings.batch_size is None:
             self.rewrite_settings.batch_size = self.batch_size
+        #: Batch container every plan is stamped with: ``"columnar"``
+        #: (the default — column-vector batches driven by compiled
+        #: column-at-a-time kernels) or ``"row"`` (the historical
+        #: row-of-tuples pipeline, also reachable process-wide via
+        #: ``REPRO_BATCH_LAYOUT=row``).  Semantically invisible.
+        if batch_layout is None:
+            batch_layout = self.rewrite_settings.batch_layout
+        if batch_layout is None:
+            batch_layout = self.planner_options.batch_layout
+        self.batch_layout = (
+            batch_layout if batch_layout is not None else default_batch_layout()
+        )
+        if self.rewrite_settings.batch_layout is None:
+            self.rewrite_settings.batch_layout = self.batch_layout
         self.clients = {
             name: SearchClient(
                 self.web.engine(name),
@@ -258,6 +274,7 @@ class WsqEngine:
             planner_options=self.planner_options,
             rewrite_settings=self.rewrite_settings,
             batch_size=self.batch_size,
+            batch_layout=self.batch_layout,
             cache=self.cache,
             deadline=deadline,
         )
@@ -408,7 +425,13 @@ class WsqEngine:
                 )
                 return header + text
             return text
-        return plan.explain()
+        text = plan.explain()
+        if self.batch_layout != default_batch_layout():
+            # Annotate only when this engine deviates from the process
+            # default, so golden plan snapshots stay byte-identical under
+            # every CI layout leg.
+            text = "-- batch_layout: {}\n".format(self.batch_layout) + text
+        return text
 
     def _latency_mean(self):
         """Mean per-request latency in seconds (for the default cost model)."""
@@ -509,12 +532,26 @@ class WsqEngine:
         size histogram so the vectorization's effective granularity is
         observable per engine.
         """
-        observe = self.pump.metrics.observe
+        metrics = self.pump.metrics
+        observe = metrics.observe
+        before = kernel_stats()
         rows = []
         extend = rows.extend
-        for batch in execute_batches(plan, self.batch_size):
-            observe("batch.rows", len(batch))
-            extend(batch)
+        try:
+            for batch in execute_batches(plan, self.batch_size):
+                observe("batch.rows", len(batch))
+                extend(batch)
+        finally:
+            # Bridge the process-global kernel counters into this
+            # engine's registry as per-drain deltas, so obs snapshots
+            # show how much work the columnar fast paths actually did.
+            after = kernel_stats()
+            compiled = after["compiled"] - before["compiled"]
+            invoked = after["invoked"] - before["invoked"]
+            if compiled:
+                metrics.inc("batch.kernel_compiled", compiled)
+            if invoked:
+                metrics.inc("batch.kernel_invoked", invoked)
         return rows
 
     def execute(self, sql, mode=ASYNC, deadline=None):

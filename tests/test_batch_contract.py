@@ -21,6 +21,7 @@ from repro.asynciter.reqsync import ReqSync
 from repro.exec import (
     Aggregate,
     AggregateSpec,
+    ColumnBatch,
     CrossProduct,
     DependentJoin,
     Distinct,
@@ -34,6 +35,7 @@ from repro.exec import (
     UnionAll,
     collect,
     collect_batches,
+    set_batch_layout,
     set_batch_size,
 )
 from repro.obs import Tracer
@@ -47,6 +49,7 @@ from repro.vtables.base import ExternalCall
 from repro.vtables.evscan import EVScan
 
 BATCH_SIZES = [1, 2, 7, 256]
+BATCH_LAYOUTS = ["columnar", "row"]
 
 
 # ---------------------------------------------------------------------------
@@ -84,6 +87,77 @@ class TestRowBatch:
         batch = RowBatch(SCHEMA_V, [(1,)], selection=[])
         assert len(batch) == 0
         assert list(batch) == []
+
+    def test_narrow_of_narrow_composes_flat(self):
+        # Regression: composing selections must materialize ONE flat
+        # vector of base indexes sharing the original rows — not a view
+        # whose indexes are misread against the backing list (the
+        # historical double-indirection bug returned base-positioned
+        # rows for view-positioned indexes).
+        rows = [(10,), (11,), (12,), (13,), (14,), (15,)]
+        batch = RowBatch(SCHEMA_V, rows)
+        first = batch.narrow([1, 3, 4, 5])
+        second = first.narrow([0, 2, 3])
+        assert second.rows is rows  # shared backing, no copy
+        assert second.selection == [1, 4, 5]  # flat composed base indexes
+        assert list(second) == [(11,), (14,), (15,)]
+        third = second.narrow([1])
+        assert third.selection == [4]
+        assert list(third) == [(14,)]
+
+
+class TestColumnBatch:
+    def test_from_rows_to_rows_roundtrip(self):
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        schema = Schema([Column("v", DataType.INT), Column("s", DataType.STR)])
+        batch = ColumnBatch.from_rows(schema, rows)
+        assert len(batch) == 3
+        assert batch.to_rows() == rows
+        assert list(batch) == rows
+
+    def test_int_column_gets_typed_storage(self):
+        from array import array
+
+        schema = Schema([Column("v", DataType.INT)], allow_duplicates=True)
+        clean = ColumnBatch.from_rows(schema, [(1,), (2,)])
+        assert isinstance(clean.column(0), array)
+        dirty = ColumnBatch.from_rows(schema, [(1,), (None,)])
+        assert isinstance(dirty.column(0), list)
+
+    def test_selection_restricts_view(self):
+        batch = ColumnBatch.from_rows(SCHEMA_V, [(1,), (2,), (3,), (4,)])
+        narrowed = batch.narrow([0, 2])
+        assert len(narrowed) == 2
+        assert narrowed.to_rows() == [(1,), (3,)]
+        assert list(narrowed.column(0)) == [1, 3]
+
+    def test_narrow_of_narrow_composes_flat(self):
+        batch = ColumnBatch.from_rows(
+            SCHEMA_V, [(10,), (11,), (12,), (13,), (14,), (15,)]
+        )
+        first = batch.narrow([1, 3, 4, 5])
+        second = first.narrow([0, 2, 3])
+        assert second.data is batch.data  # shared column buffers
+        assert second.selection == [1, 4, 5]
+        assert second.to_rows() == [(11,), (14,), (15,)]
+
+    def test_dense_column_is_zero_copy(self):
+        batch = ColumnBatch.from_rows(SCHEMA_V, [(1,), (2,)])
+        assert batch.column(0) is batch.data[0]
+
+    def test_empty_selection_and_compact(self):
+        batch = ColumnBatch.from_rows(SCHEMA_V, [(1,), (2,)]).narrow([])
+        assert len(batch) == 0
+        assert batch.to_rows() == []
+        dense = ColumnBatch.from_rows(SCHEMA_V, [(1,), (2,), (3,)]).narrow([2, 0])
+        compacted = dense.compact()
+        assert compacted.selection is None
+        assert compacted.to_rows() == [(3,), (1,)]
+
+    def test_zero_width_batch(self):
+        batch = ColumnBatch(Schema([]), [], 4)
+        assert len(batch) == 4
+        assert batch.to_rows() == [(), (), (), ()]
 
 
 # ---------------------------------------------------------------------------
@@ -187,14 +261,17 @@ PLAN_FACTORIES = {
 
 @pytest.mark.parametrize("factory", PLAN_FACTORIES.values(), ids=PLAN_FACTORIES.keys())
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("batch_layout", BATCH_LAYOUTS)
 class TestLocalOperatorEquivalence:
-    def test_batch_path_matches_row_path(self, factory, batch_size):
+    def test_batch_path_matches_row_path(self, factory, batch_size, batch_layout):
         expected = collect(factory())
         plan = set_batch_size(factory(), batch_size)
+        set_batch_layout(plan, batch_layout)
         assert collect_batches(plan, batch_size) == expected
 
-    def test_reopen_after_close_both_protocols(self, factory, batch_size):
+    def test_reopen_after_close_both_protocols(self, factory, batch_size, batch_layout):
         plan = set_batch_size(factory(), batch_size)
+        set_batch_layout(plan, batch_layout)
         first = collect_batches(plan, batch_size)
         # Batch run, then row run, then batch run again — each execution
         # is a fresh open/close, protocols never interleave.
@@ -337,11 +414,13 @@ def _async_plan(pump, preserve_order=False, delay=0.0, tracer=None):
 
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
 class TestExternalEquivalence:
-    def test_async_batch_path_matches_row_path(self, pump, batch_size):
+    @pytest.mark.parametrize("batch_layout", BATCH_LAYOUTS)
+    def test_async_batch_path_matches_row_path(self, pump, batch_size, batch_layout):
         plan, _ = _async_plan(pump)
         row_rows = sorted(collect(plan))
         plan, _ = _async_plan(pump)
         set_batch_size(plan, batch_size)
+        set_batch_layout(plan, batch_layout)
         batch_rows = sorted(collect_batches(plan, batch_size))
         assert row_rows == batch_rows == EXPECTED_ROWS
 
@@ -474,13 +553,17 @@ class TestBatchedRegistration:
             results = {}
             for mode in ("sync", "async"):
                 for batch_size in (1, None):
-                    engine = WsqEngine(
-                        database=paper_db, web=web, batch_size=batch_size
-                    )
-                    results[(mode, batch_size)] = engine.execute(
-                        sql, mode=mode
-                    ).rows
-            baseline = results[("sync", 1)]
+                    for batch_layout in BATCH_LAYOUTS:
+                        engine = WsqEngine(
+                            database=paper_db,
+                            web=web,
+                            batch_size=batch_size,
+                            batch_layout=batch_layout,
+                        )
+                        results[(mode, batch_size, batch_layout)] = (
+                            engine.execute(sql, mode=mode).rows
+                        )
+            baseline = results[("sync", 1, "row")]
             assert all(rows == baseline for rows in results.values()), sql
 
     def test_register_batch_dedups_against_in_flight(self, pump):

@@ -1,0 +1,583 @@
+"""Columnar batch core: round-trip oracle, kernels, hash join, knobs.
+
+Three layers of guarantees:
+
+- **Round-trip oracle** (hypothesis): ``ColumnBatch.from_rows`` /
+  ``to_rows`` are exact inverses over arbitrary schemas, values (NULLs,
+  strings, floats), and selection vectors.
+- **Kernel exactness**: the compiled column-at-a-time evaluators agree
+  with per-row ``Expr.eval`` on results *and* on which error fires
+  (3-valued logic, per-row short-circuit, type mismatches, placeholder
+  guards, division by zero).
+- **Knob threading**: ``batch_layout`` resolves through
+  RewriteSettings/PlannerOptions/ExecOptions/engine/CLI with the same
+  precedence as ``batch_size``, the hash-join upgrade demotes itself on
+  every input that could change nested-loop semantics, and the kernel
+  counters surface through the engine's metrics registry.
+"""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import (
+    Filter,
+    NestedLoopJoin,
+    RowsScan,
+    collect,
+    collect_batches,
+    set_batch_layout,
+    set_batch_size,
+)
+from repro.relational.batch import (
+    ColumnBatch,
+    default_batch_layout,
+    type_column,
+)
+from repro.relational.expr import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+    compile_column_eval,
+    compile_column_predicate,
+    compile_column_projection,
+    kernel_stats,
+)
+from repro.relational.placeholder import Placeholder
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+from repro.util.errors import (
+    ExecutionError,
+    PlaceholderError,
+    PlanError,
+    TypeMismatchError,
+)
+
+# ---------------------------------------------------------------------------
+# Round-trip oracle: from_rows(to_rows(b)) == b
+# ---------------------------------------------------------------------------
+
+
+_VALUE_STRATEGIES = {
+    DataType.INT: st.one_of(st.none(), st.integers(-(2**40), 2**40)),
+    DataType.FLOAT: st.one_of(
+        st.none(), st.floats(allow_nan=False, allow_infinity=False, width=32)
+    ),
+    DataType.STR: st.one_of(st.none(), st.text(max_size=8)),
+}
+
+
+@st.composite
+def batches(draw):
+    """A random (schema, rows, selection) triple."""
+    types = draw(
+        st.lists(
+            st.sampled_from([DataType.INT, DataType.FLOAT, DataType.STR]),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    schema = Schema(
+        [Column("c{}".format(i), t) for i, t in enumerate(types)],
+        allow_duplicates=True,
+    )
+    n = draw(st.integers(0, 12))
+    rows = [
+        tuple(draw(_VALUE_STRATEGIES[t]) for t in types) for _ in range(n)
+    ]
+    selection = draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.integers(0, n - 1), max_size=n) if n else st.just([]),
+        )
+    )
+    return schema, rows, selection
+
+
+class TestRoundTripOracle:
+    @given(batches())
+    @settings(max_examples=200, deadline=None)
+    def test_from_rows_to_rows_identity(self, case):
+        schema, rows, selection = case
+        batch = ColumnBatch.from_rows(schema, rows)
+        assert batch.to_rows() == rows
+        if selection is not None:
+            narrowed = batch.narrow(selection)
+            expected = [rows[i] for i in selection]
+            assert narrowed.to_rows() == expected
+            assert len(narrowed) == len(expected)
+            # A second hop through rows must reproduce the narrowed view.
+            again = ColumnBatch.from_rows(schema, narrowed.to_rows())
+            assert again.to_rows() == expected
+            for i in range(len(schema)):
+                assert list(again.column(i)) == [r[i] for r in expected]
+
+    @given(batches())
+    @settings(max_examples=100, deadline=None)
+    def test_columns_match_row_pivot(self, case):
+        schema, rows, _ = case
+        batch = ColumnBatch.from_rows(schema, rows)
+        for i in range(len(schema)):
+            assert list(batch.column(i)) == [r[i] for r in rows]
+
+    @given(batches())
+    @settings(max_examples=100, deadline=None)
+    def test_typed_storage_only_when_clean(self, case):
+        schema, rows, _ = case
+        batch = ColumnBatch.from_rows(schema, rows)
+        for i, column in enumerate(schema):
+            vec = batch.column(i)
+            values = [r[i] for r in rows]
+            if isinstance(vec, array):
+                # The structural proof: a typed array can never hold
+                # NULLs, strings, or placeholders.
+                assert column.type in (DataType.INT, DataType.FLOAT)
+                assert all(v is not None for v in values)
+
+
+# ---------------------------------------------------------------------------
+# Kernel exactness vs per-row evaluation
+# ---------------------------------------------------------------------------
+
+
+def _batch(rows, types):
+    schema = Schema(
+        [Column("c{}".format(i), t) for i, t in enumerate(types)],
+        allow_duplicates=True,
+    )
+    return ColumnBatch.from_rows(schema, rows)
+
+
+def _rowwise(expr, batch):
+    """Reference semantics: per-row eval, first error wins."""
+    return [expr.eval(row) for row in batch.to_rows()]
+
+
+KERNEL_CASES = {
+    "cmp_col_lit": (
+        Comparison(">", ColumnRef(0), Literal(5)),
+        [(i,) for i in range(12)],
+        [DataType.INT],
+    ),
+    "cmp_lit_col": (
+        Comparison(">=", Literal(5), ColumnRef(0)),
+        [(i,) for i in range(12)],
+        [DataType.INT],
+    ),
+    "cmp_col_col": (
+        Comparison("=", ColumnRef(0), ColumnRef(1)),
+        [(i, i % 3) for i in range(12)],
+        [DataType.INT, DataType.INT],
+    ),
+    "cmp_with_nulls": (
+        Comparison("<", ColumnRef(0), Literal(4)),
+        [(0,), (None,), (7,), (None,), (2,)],
+        [DataType.INT],
+    ),
+    "cmp_strings": (
+        Comparison("=", ColumnRef(0), Literal("b")),
+        [("a",), ("b",), (None,), ("c",)],
+        [DataType.STR],
+    ),
+    "arith": (
+        BinaryOp("*", ColumnRef(0), Literal(3)),
+        [(i,) for i in range(9)],
+        [DataType.INT],
+    ),
+    "arith_col_col": (
+        BinaryOp("+", ColumnRef(0), ColumnRef(1)),
+        [(i, 10 * i) for i in range(9)],
+        [DataType.INT, DataType.INT],
+    ),
+    "div_by_zero_col": (
+        BinaryOp("/", Literal(10), ColumnRef(0)),
+        [(1,), (0,), (2,), (0,)],
+        [DataType.INT],
+    ),
+    "div_by_zero_lit": (
+        BinaryOp("/", ColumnRef(0), Literal(0)),
+        [(1,), (2,)],
+        [DataType.INT],
+    ),
+    "conjunction": (
+        Conjunction(
+            [
+                Comparison(">", ColumnRef(0), Literal(2)),
+                Comparison("<", ColumnRef(0), Literal(8)),
+            ]
+        ),
+        [(i,) for i in range(12)],
+        [DataType.INT],
+    ),
+    "disjunction": (
+        Disjunction(
+            [
+                Comparison("<", ColumnRef(0), Literal(2)),
+                Comparison(">", ColumnRef(0), Literal(8)),
+            ]
+        ),
+        [(i,) for i in range(12)],
+        [DataType.INT],
+    ),
+    "conjunction_with_nulls": (
+        Conjunction(
+            [
+                Comparison(">", ColumnRef(0), Literal(2)),
+                Comparison("<", ColumnRef(1), Literal(5)),
+            ]
+        ),
+        [(1, None), (5, 2), (None, 1), (6, None), (7, 9)],
+        [DataType.INT, DataType.INT],
+    ),
+    "negation": (
+        Negation(Comparison(">", ColumnRef(0), Literal(5))),
+        [(3,), (None,), (9,)],
+        [DataType.INT],
+    ),
+    "literal": (Literal(7), [(1,), (2,)], [DataType.INT]),
+    "colref": (ColumnRef(0), [(4,), (None,), (6,)], [DataType.INT]),
+}
+
+
+@pytest.mark.parametrize(
+    "case", KERNEL_CASES.values(), ids=KERNEL_CASES.keys()
+)
+class TestKernelExactness:
+    def test_eval_matches_rowwise(self, case):
+        expr, rows, types = case
+        batch = _batch(rows, types)
+        assert list(compile_column_eval(expr)(batch)) == _rowwise(expr, batch)
+
+    def test_eval_matches_on_narrowed_batch(self, case):
+        expr, rows, types = case
+        batch = _batch(rows, types).narrow(
+            [i for i in range(len(rows)) if i % 2 == 0]
+        )
+        assert list(compile_column_eval(expr)(batch)) == _rowwise(expr, batch)
+
+    def test_predicate_selects_true_rows_only(self, case):
+        expr, rows, types = case
+        batch = _batch(rows, types)
+        values = _rowwise(expr, batch)
+        expected = [i for i, v in enumerate(values) if v is True]
+        assert compile_column_predicate(expr)(batch) == expected
+
+
+class TestKernelErrors:
+    def test_type_mismatch_matches_row_semantics(self):
+        expr = Comparison(">", ColumnRef(0), Literal(5))
+        batch = _batch([(1,), ("oops",), (9,)], [DataType.INT])
+        with pytest.raises(TypeMismatchError, match="cannot compare"):
+            compile_column_eval(expr)(batch)
+
+    def test_placeholder_guard_names_the_column(self):
+        expr = Comparison(">", ColumnRef(0), Literal(5))
+        batch = _batch(
+            [(1,), (Placeholder(0, "value"),)], [DataType.INT]
+        )
+        with pytest.raises(PlaceholderError):
+            compile_column_eval(expr)(batch)
+
+    def test_short_circuit_suppresses_second_term_error(self):
+        # Per-row AND must not evaluate (and raise on) the second term
+        # for rows whose first term is already False — the mask-combine
+        # fast path is only legal when nothing can raise, so this shape
+        # (string literal comparison) must take the exact row-wise path.
+        expr = Conjunction(
+            [
+                Comparison(">", ColumnRef(0), Literal(100)),
+                Comparison("=", ColumnRef(1), Literal("x")),
+            ]
+        )
+        batch = _batch(
+            [(1, 5), (2, 7)], [DataType.INT, DataType.INT]
+        )  # second column would mismatch 'x' if ever compared
+        assert list(compile_column_eval(expr)(batch)) == [False, False]
+        assert compile_column_predicate(expr)(batch) == []
+
+    def test_mask_combine_requires_typed_arrays(self):
+        # Same AND over a column that *lost* typed storage (a NULL): the
+        # runtime check must fall back to row-wise and keep 3VL exact.
+        expr = Conjunction(
+            [
+                Comparison(">", ColumnRef(0), Literal(1)),
+                Comparison("<", ColumnRef(0), Literal(9)),
+            ]
+        )
+        batch = _batch([(0,), (None,), (5,)], [DataType.INT])
+        assert list(compile_column_eval(expr)(batch)) == [False, None, True]
+
+
+class TestProjectionKernel:
+    def test_raw_columnref_passthrough_keeps_placeholders(self):
+        marker = Placeholder(3, "value")
+        batch = _batch([(1, "a"), (marker, "b")], [DataType.INT, DataType.STR])
+        project = compile_column_projection([ColumnRef(1), ColumnRef(0)])
+        cols = project(batch)
+        assert list(cols[0]) == ["a", "b"]
+        assert cols[1][1] is marker  # oblivious: placeholders flow through
+
+    def test_computed_expression_column(self):
+        batch = _batch([(2,), (3,)], [DataType.INT])
+        project = compile_column_projection(
+            [BinaryOp("*", ColumnRef(0), Literal(10))]
+        )
+        assert list(project(batch)[0]) == [20, 30]
+
+    def test_kernel_stats_counters_move(self):
+        before = kernel_stats()
+        evaluate = compile_column_eval(Comparison(">", ColumnRef(0), Literal(1)))
+        batch = _batch([(0,), (2,)], [DataType.INT])
+        evaluate(batch)
+        evaluate(batch)
+        after = kernel_stats()
+        assert after["compiled"] == before["compiled"] + 1
+        assert after["invoked"] == before["invoked"] + 2
+
+
+# ---------------------------------------------------------------------------
+# Hash equi-join upgrade: equivalence and demotion
+# ---------------------------------------------------------------------------
+
+
+def _scan(name, rows, types):
+    schema = Schema(
+        [Column("{}{}".format(name, i), t, name) for i, t in enumerate(types)],
+        allow_duplicates=True,
+    )
+    return RowsScan(schema, rows, name=name)
+
+
+def _join(left_rows, right_rows, op="=", left_types=None, right_types=None):
+    left = _scan("l", left_rows, left_types or [DataType.INT])
+    right = _scan("r", right_rows, right_types or [DataType.INT])
+    return NestedLoopJoin(
+        left, right, Comparison(op, ColumnRef(0), ColumnRef(len(left.schema)))
+    )
+
+
+def _both_layouts(make_plan, batch_size=4):
+    """(columnar rows, row-layout rows) for the same plan factory."""
+    results = []
+    for layout in ("columnar", "row"):
+        plan = set_batch_size(make_plan(), batch_size)
+        set_batch_layout(plan, layout)
+        results.append(collect_batches(plan, batch_size))
+    return results
+
+
+class TestHashJoin:
+    def test_equijoin_matches_row_layout(self):
+        left = [(i,) for i in range(10)]
+        right = [(i % 4, i * 100) for i in range(12)]
+        columnar, row = _both_layouts(
+            lambda: _join(left, right, right_types=[DataType.INT, DataType.INT])
+        )
+        assert columnar == row
+        assert len(columnar) == sum(1 for l, in left for r, _ in right if l == r)
+
+    def test_string_keys(self):
+        left = [("a",), ("b",), ("c",)]
+        right = [("b",), ("c",), ("c",)]
+        columnar, row = _both_layouts(
+            lambda: _join(
+                left, right, left_types=[DataType.STR], right_types=[DataType.STR]
+            )
+        )
+        assert columnar == row == [("b", "b"), ("c", "c"), ("c", "c")]
+
+    def test_null_inner_keys_demote_exactly(self):
+        # NULL = x is NULL, never True: those inner rows silently match
+        # nothing under the nested loop, and the demoted path must agree.
+        left = [(1,), (2,)]
+        right = [(1,), (None,), (2,)]
+        columnar, row = _both_layouts(lambda: _join(left, right))
+        assert columnar == row == [(1, 1), (2, 2)]
+
+    def test_null_outer_keys_skip_without_error(self):
+        left = [(1,), (None,), (2,)]
+        right = [(1,), (2,)]
+        columnar, row = _both_layouts(lambda: _join(left, right))
+        assert columnar == row == [(1, 1), (2, 2)]
+
+    def test_mixed_type_outer_key_raises_like_nested_loop(self):
+        left = [(1,), ("oops",)]
+        right = [(1,), (2,)]
+
+        def run(layout):
+            plan = set_batch_size(_join(left, right), 4)
+            set_batch_layout(plan, layout)
+            with pytest.raises(TypeMismatchError) as info:
+                collect_batches(plan, 4)
+            return str(info.value)
+
+        # Same error, same operand order as the per-row comparison.
+        assert run("columnar") == run("row")
+
+    def test_mixed_type_inner_keys_demote_and_raise(self):
+        left = [(1,)]
+        right = [(1,), ("oops",)]
+        for layout in ("columnar", "row"):
+            plan = set_batch_size(_join(left, right), 4)
+            set_batch_layout(plan, layout)
+            with pytest.raises(TypeMismatchError):
+                collect_batches(plan, 4)
+
+    def test_empty_inner_never_probes_dirty_outer_keys(self):
+        # The nested loop never evaluates the predicate when the inner
+        # side is empty, so even a mistyped outer key must not raise.
+        left = [(1,), ("oops",)]
+        right = []
+        columnar, row = _both_layouts(lambda: _join(left, right))
+        assert columnar == row == []
+
+    def test_empty_outer_leaves_inner_unopened(self):
+        opens = []
+        right = _scan("r", [(1,)], [DataType.INT])
+        original_open = right.open
+        right.open = lambda *a, **k: (opens.append(True), original_open(*a, **k))
+        left = _scan("l", [], [DataType.INT])
+        plan = NestedLoopJoin(
+            left, right, Comparison("=", ColumnRef(0), ColumnRef(1))
+        )
+        set_batch_layout(plan, "columnar")
+        assert collect_batches(plan, 4) == []
+        assert not opens
+
+    def test_non_equijoin_keeps_cross_product_pipeline(self):
+        left = [(i,) for i in range(6)]
+        right = [(i,) for i in range(6)]
+        columnar, row = _both_layouts(lambda: _join(left, right, op="<"))
+        assert columnar == row
+        assert len(columnar) == sum(1 for a in range(6) for b in range(6) if a < b)
+
+    def test_row_protocol_drains_hash_result(self):
+        left = [(i,) for i in range(8)]
+        right = [(i % 3, i) for i in range(9)]
+        plan = _join(left, right, right_types=[DataType.INT, DataType.INT])
+        set_batch_layout(plan, "columnar")
+        via_rows = collect(plan)
+        plan2 = _join(left, right, right_types=[DataType.INT, DataType.INT])
+        set_batch_layout(plan2, "row")
+        assert via_rows == collect(plan2)
+
+
+# ---------------------------------------------------------------------------
+# Knob threading: env, options, engine, explain, metrics, CLI
+# ---------------------------------------------------------------------------
+
+
+class TestLayoutKnob:
+    def test_default_layout_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_LAYOUT", raising=False)
+        assert default_batch_layout() == "columnar"
+        monkeypatch.setenv("REPRO_BATCH_LAYOUT", "row")
+        assert default_batch_layout() == "row"
+        monkeypatch.setenv("REPRO_BATCH_LAYOUT", "diagonal")
+        with pytest.raises(ValueError, match="REPRO_BATCH_LAYOUT"):
+            default_batch_layout()
+
+    def test_exec_options_validates_layout(self):
+        from repro.plan.physical import ExecOptions
+
+        with pytest.raises(PlanError, match="batch_layout"):
+            ExecOptions(batch_layout="diagonal")
+
+    def test_set_batch_layout_validates(self):
+        scan = _scan("t", [(1,)], [DataType.INT])
+        with pytest.raises(ExecutionError, match="batch_layout"):
+            set_batch_layout(scan, "diagonal")
+
+    def test_set_batch_layout_stamps_whole_tree(self):
+        plan = Filter(
+            _scan("t", [(1,)], [DataType.INT]),
+            Comparison(">", ColumnRef(0), Literal(0)),
+        )
+        other = "row" if default_batch_layout() == "columnar" else "columnar"
+        set_batch_layout(plan, other)
+        assert plan.batch_layout == other
+        assert plan.children[0].batch_layout == other
+
+    def test_exec_options_precedence(self):
+        from repro.asynciter.rewrite import RewriteSettings
+        from repro.plan.physical import ExecOptions
+        from repro.plan.planner import PlannerOptions
+
+        options = ExecOptions.from_knobs(
+            planner_options=PlannerOptions(batch_layout="columnar"),
+            rewrite_settings=RewriteSettings(batch_layout="row"),
+        )
+        assert options.batch_layout == "row"  # rewrite beats planner
+        options = ExecOptions.from_knobs(
+            rewrite_settings=RewriteSettings(batch_layout="row"),
+            batch_layout="columnar",
+        )
+        assert options.batch_layout == "columnar"  # explicit beats rewrite
+
+
+class TestEngineLayout:
+    def test_engine_resolution_and_writeback(self, web, paper_db):
+        from repro.wsq import WsqEngine
+
+        engine = WsqEngine(database=paper_db, web=web, batch_layout="row")
+        assert engine.batch_layout == "row"
+        assert engine.rewrite_settings.batch_layout == "row"
+        assert engine.exec_options().batch_layout == "row"
+        default_engine = WsqEngine(database=paper_db, web=web)
+        assert default_engine.batch_layout == default_batch_layout()
+
+    def test_engine_stamps_plan(self, web, paper_db):
+        from repro.wsq import WsqEngine
+
+        other = "row" if default_batch_layout() == "columnar" else "columnar"
+        engine = WsqEngine(database=paper_db, web=web, batch_layout=other)
+        plan = engine.plan("Select Name From States", mode="sync")
+        assert plan.batch_layout == other
+
+    def test_explain_annotates_only_non_default_layout(self, web, paper_db):
+        from repro.wsq import WsqEngine
+
+        default_engine = WsqEngine(database=paper_db, web=web)
+        text = default_engine.explain("Select Name From States", mode="sync")
+        assert "batch_layout" not in text
+        other = "row" if default_batch_layout() == "columnar" else "columnar"
+        engine = WsqEngine(database=paper_db, web=web, batch_layout=other)
+        text = engine.explain("Select Name From States", mode="sync")
+        assert text.startswith("-- batch_layout: {}\n".format(other))
+
+    def test_kernel_metrics_surface_in_registry(self, web, paper_db):
+        from repro.obs import Observability
+        from repro.wsq import WsqEngine
+
+        engine = WsqEngine(
+            database=paper_db,
+            web=web,
+            obs=Observability.enabled(),
+            batch_layout="columnar",
+        )
+        engine.execute(
+            "Select Name From States Where Population > 5000", mode="sync"
+        )
+        metrics = engine.pump.metrics
+        assert metrics.counter_value("batch.kernel_compiled") > 0
+        assert metrics.counter_value("batch.kernel_invoked") > 0
+
+    def test_cli_flag_reaches_engine(self):
+        from repro.cli import build_engine
+
+        class Args:
+            db = None
+            load_datasets = False
+            latency = 0.0
+            cache = False
+            sync = False
+            command = None
+            batch_layout = "row"
+
+        assert build_engine(Args()).batch_layout == "row"

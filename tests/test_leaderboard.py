@@ -119,7 +119,7 @@ class TestCheck:
         base = self.baseline(tmp_path)
         fresh = json.loads(json.dumps(base))
         cell = fresh["benchmarks"]["batch_sweep"]["local_speedup_default_vs_1"]
-        cell["value"] = 2.5 * 0.5  # 50% drop against a 25% band
+        cell["value"] = 2.5 * 0.4  # 60% drop against a 50% band
         regressions = leaderboard.check(fresh, base)
         assert len(regressions) == 1
         assert "local_speedup_default_vs_1" in regressions[0]
@@ -129,7 +129,7 @@ class TestCheck:
         fresh = json.loads(json.dumps(base))
         fresh["benchmarks"]["batch_sweep"]["local_speedup_default_vs_1"][
             "value"
-        ] = 2.5 * 0.8  # inside the 25% band
+        ] = 2.5 * 0.8  # inside the 50% band
         assert leaderboard.check(fresh, base) == []
 
     def test_improvement_passes(self, tmp_path):
