@@ -3,7 +3,8 @@
 The benchmark suite leaves one JSON artifact per family under
 ``benchmarks/results/`` (``BENCH_batch_sweep.json``,
 ``BENCH_cache_sweep.json``, ``BENCH_trace_overlap.json``,
-``BENCH_serve.json``).  This script folds them into a single
+``BENCH_serve.json``, ``BENCH_shard.json``).  This script folds them
+into a single
 leaderboard keyed ``benchmark x metric`` and compares it against the
 committed baseline at the repo root (``BENCH_leaderboard.json``).
 
@@ -164,11 +165,39 @@ def _extract_serve(report):
     return metrics
 
 
+def _extract_shard(report):
+    metrics = {}
+    scatter = report.get("scatter") or {}
+    if "speedup" in scatter:
+        # Sum-vs-max of simulated per-shard delays: a ratio, so stable
+        # across machines; the band still catches a scatter that went
+        # sequential (~1x against a >= 2x baseline).
+        metrics["scatter_speedup"] = _metric(
+            scatter["speedup"], "higher", tolerance=0.5
+        )
+        metrics["scatter_async_seconds"] = _metric(
+            scatter["async_seconds"], "lower"
+        )
+    outage = report.get("outage") or {}
+    if "counts_exact" in outage:
+        # Degraded gathers are exact by construction: zero tolerance.
+        metrics["outage_counts_exact"] = _metric(
+            float(outage["counts_exact"]), "higher", tolerance=0.0
+        )
+    hedging = report.get("hedging") or {}
+    if hedging.get("issued"):
+        metrics["hedge_win_fraction"] = _metric(
+            round(hedging.get("won", 0) / hedging["issued"], 6), "higher"
+        )
+    return metrics
+
+
 EXTRACTORS = [
     ("batch_sweep", "BENCH_batch_sweep.json", _extract_batch_sweep),
     ("cache_sweep", "BENCH_cache_sweep.json", _extract_cache_sweep),
     ("trace_overlap", "BENCH_trace_overlap.json", _extract_trace_overlap),
     ("serve_load", "BENCH_serve.json", _extract_serve),
+    ("shard_load", "BENCH_shard.json", _extract_shard),
 ]
 
 

@@ -60,6 +60,8 @@ class RewriteSettings:
         on_error=None,
         batch_size=None,
         batch_layout=None,
+        shards=None,
+        parallelism=None,
     ):
         self.stream = stream
         self.pull_above_order_sensitive = pull_above_order_sensitive
@@ -78,6 +80,12 @@ class RewriteSettings:
         #: Batch container stamped over rewritten plans
         #: (``"columnar"``/``"row"``; ``None`` = the operator default).
         self.batch_layout = batch_layout
+        #: Search-tier shard count (``None`` = defer to the engine /
+        #: ``REPRO_SHARDS`` resolution; ``1`` = unsharded).
+        self.shards = shards
+        #: Intra-query Exchange parallelism (``None`` = defer to the
+        #: engine / ``REPRO_PARALLELISM`` resolution; ``1`` = off).
+        self.parallelism = parallelism
 
     def exec_options(self):
         """The consolidated execution knobs these settings imply."""

@@ -79,6 +79,8 @@ def build_engine(args):
         batch_size=getattr(args, "batch_size", None),
         batch_layout=getattr(args, "batch_layout", None),
         calibration=getattr(args, "calibration", None),
+        shards=getattr(args, "shards", None),
+        parallelism=getattr(args, "parallelism", None),
     )
 
 
@@ -193,6 +195,22 @@ def main(argv=None):
         help="batch container: columnar (column vectors + compiled "
         "column-at-a-time kernels) or row (the historical row-of-tuples "
         "pipeline; default columnar or $REPRO_BATCH_LAYOUT)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="search-tier shard count: N > 1 splits each engine's index "
+        "into N deterministic shards behind a scatter-gather broker "
+        "(default 1 or $REPRO_SHARDS; 1 = the unsharded monolith)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="intra-query worker count: N > 1 fans eligible local scan "
+        "pipelines over an Exchange operator "
+        "(default 1 or $REPRO_PARALLELISM; 1 = sequential plans)",
     )
     parser.add_argument(
         "-c", "--command", help="run one statement and exit", default=None
@@ -388,6 +406,39 @@ def _dot_command(engine, line, mode):
                     snap["rejections"],
                 )
                 print(line)
+        destinations = {
+            name: client.shard_stats()
+            for name, client in engine.clients.items()
+            if hasattr(client, "shard_stats")
+        }
+        if destinations:
+            print("  shards:")
+            for name, view in sorted(destinations.items()):
+                hedges = view["hedges"]
+                print(
+                    "    {}: {} shards, scatters={} degraded_gathers={} "
+                    "hedges(issued={} won={} lost={} cancelled={})".format(
+                        name,
+                        view["num_shards"],
+                        view["scatters"],
+                        view["degraded_gathers"],
+                        hedges["issued"],
+                        hedges["won"],
+                        hedges["lost"],
+                        hedges["cancelled"],
+                    )
+                )
+                for dest, entry in sorted(view["per_shard"].items()):
+                    line = "      {}: requests={} failures={} degraded={}".format(
+                        dest,
+                        entry["requests"],
+                        entry["failures"],
+                        entry["degraded"],
+                    )
+                    breaker = entry.get("breaker")
+                    if breaker is not None:
+                        line += " breaker={}".format(breaker["state"])
+                    print(line)
     elif command == ".metrics":
         if argument.strip() in ("--prom", "prom"):
             print(engine.metrics.to_prometheus(), end="")

@@ -29,6 +29,7 @@ from repro.exec.operator import (
 )
 from repro.relational.batch import ColumnBatch, RowBatch
 from repro.exec.scans import RowsScan, TableScan
+from repro.exec.exchange import Exchange, MergeExchange
 from repro.exec.indexscan import IndexScan
 from repro.exec.filter import Filter
 from repro.exec.project import Project
@@ -47,9 +48,11 @@ __all__ = [
     "CrossProduct",
     "DependentJoin",
     "Distinct",
+    "Exchange",
     "Filter",
     "IndexScan",
     "Limit",
+    "MergeExchange",
     "NestedLoopJoin",
     "Operator",
     "Project",

@@ -26,11 +26,19 @@ class TableScan(Operator):
     In the columnar layout the source is ``Table.scan_column_batches()``
     when available — pages decode straight into typed column vectors, so
     batches reach the operators column-major without a pivot.
+
+    ``partition=(index, total)`` restricts the scan to one contiguous
+    run of heap pages (see
+    :func:`repro.storage.heap.partition_pages`) — the leaves an
+    :class:`~repro.exec.exchange.Exchange` fans a subtree over.  The
+    partitions of a table concatenate, in index order, to exactly the
+    unpartitioned scan.
     """
 
-    def __init__(self, table, qualifier=None):
+    def __init__(self, table, qualifier=None, partition=None):
         self.table = table
         self.qualifier = qualifier or table.name
+        self.partition = partition
         self.schema = table.schema.with_qualifier(self.qualifier)
         self.children = ()
         self._iterator = None
@@ -40,7 +48,13 @@ class TableScan(Operator):
 
     def open(self, bindings=None):
         self._reject_bindings(bindings)
-        self._iterator = self.table.scan()
+        # Unpartitioned scans keep the historical zero-argument call, so
+        # duck-typed table stand-ins without a partition kwarg still work.
+        self._iterator = (
+            self.table.scan()
+            if self.partition is None
+            else self.table.scan(partition=self.partition)
+        )
         self._batch_iterator = None
         self._pending = []
         self._pending_cols = None
@@ -55,8 +69,16 @@ class TableScan(Operator):
         if self._batch_iterator is None:
             scan_batches = getattr(self.table, "scan_batches", None)
             if scan_batches is None:
+                if self.partition is not None:
+                    raise ExecutionError(
+                        "partitioned scan over a table without scan_batches()"
+                    )
                 return None
-            self._batch_iterator = scan_batches()
+            self._batch_iterator = (
+                scan_batches()
+                if self.partition is None
+                else scan_batches(partition=self.partition)
+            )
         rows = self._pending
         while len(rows) < limit:
             chunk = next(self._batch_iterator, None)
@@ -75,7 +97,11 @@ class TableScan(Operator):
     def _next_column_batch(self, limit):
         """Columnar source path: page chunks arrive as column vectors."""
         if self._batch_iterator is None:
-            self._batch_iterator = self.table.scan_column_batches()
+            self._batch_iterator = (
+                self.table.scan_column_batches()
+                if self.partition is None
+                else self.table.scan_column_batches(partition=self.partition)
+            )
         cols = self._pending_cols
         count = len(cols[0]) if cols else 0
         while count < limit:
@@ -124,6 +150,10 @@ class TableScan(Operator):
         self._pending_cols = None
 
     def label(self):
+        if self.partition is not None:
+            return "Scan: {} [partition {}/{}]".format(
+                self.qualifier, self.partition[0], self.partition[1]
+            )
         return "Scan: {}".format(self.qualifier)
 
 

@@ -54,6 +54,10 @@ KNOWN_EVENT_NAMES = frozenset(
         _trace.SERVE_FINISH,
         _trace.SERVE_CANCEL,
         _trace.SERVE_SLO_VIOLATION,
+        _trace.SHARD_SCATTER,
+        _trace.SHARD_GATHER,
+        _trace.SHARD_HEDGE,
+        _trace.SHARD_OUTAGE,
     }
 )
 

@@ -31,6 +31,7 @@ from repro.asynciter.aevscan import AEVScan
 from repro.asynciter.reqsync import ReqSync
 from repro.exec.aggregate import Aggregate
 from repro.exec.distinct import Distinct
+from repro.exec.exchange import Exchange
 from repro.exec.filter import Filter
 from repro.exec.indexscan import IndexScan
 from repro.exec.joins import CrossProduct, DependentJoin, NestedLoopJoin
@@ -205,6 +206,7 @@ class CostModel:
         batch_size=None,
         cache=None,
         expected_hit_ratio=None,
+        shards=None,
     ):
         self.latency_mean = latency_mean
         self.per_destination_limits = dict(per_destination_limits or {})
@@ -225,6 +227,12 @@ class CostModel:
         #: the seed model.
         self.cache = cache
         self.expected_hit_ratio = expected_hit_ratio
+        #: Search-tier shard count the priced engine scatters over.
+        #: ``1`` (or ``None``) keeps every estimate bit-identical to the
+        #: unsharded model; ``N`` prices each external call as N probes
+        #: and each blocking wave at the *slowest* shard's latency (see
+        #: :meth:`scatter_latency`).
+        self.shards = int(shards) if shards and shards >= 1 else 1
         #: Calibration state: a :class:`repro.obs.calibration.
         #: CalibrationProfile` attached via :meth:`apply_profile` (duck
         #: typed — anything with the same read surface works).  Empty
@@ -302,6 +310,7 @@ class CostModel:
             batch_size=self.batch_size,
             cache=self.cache,
             expected_hit_ratio=self.expected_hit_ratio,
+            shards=self.shards,
         )
         twin.profile = self.profile
         twin.latency_by_destination = dict(self.latency_by_destination)
@@ -319,6 +328,28 @@ class CostModel:
     def destination_latency(self, destination):
         """Expected per-request latency for *destination* (calibrated or mean)."""
         return self.latency_by_destination.get(destination, self.latency_mean)
+
+    def scatter_latency(self, destination):
+        """Latency of one blocking wave against *destination*, shard-aware.
+
+        Unsharded this is just :meth:`destination_latency`.  With
+        ``shards=N`` a wave is a scatter that settles when its slowest
+        shard answers: calibrated per-shard entries (the broker observes
+        service times under destinations ``{dest}:shard{i}``) price the
+        wave at their max; shards the profile never measured fall back
+        to the destination's own (or mean) latency.
+        """
+        base = self.destination_latency(destination)
+        if self.shards <= 1:
+            return base
+        from repro.web.sharding import shard_destination
+
+        return max(
+            self.latency_by_destination.get(
+                shard_destination(destination, shard_id), base
+            )
+            for shard_id in range(self.shards)
+        )
 
     def _weighted_latency(self, calls):
         """Call-count-weighted mean latency across a calls dict."""
@@ -394,7 +425,13 @@ class CostModel:
             network = estimate.wave_seconds
         else:
             network = estimate.waves * self.latency_mean
-        network += (estimate.total_calls() + estimate.issued) * self.call_overhead
+        # A sharded tier turns every logical call into one probe per
+        # shard, each paying the fixed per-call overhead.
+        network += (
+            (estimate.total_calls() + estimate.issued)
+            * self.call_overhead
+            * float(self.shards)
+        )
         local = (
             estimate.local_rows * self.cpu_per_row * self.batch_discount()
             + estimate.patched_values * self.cpu_per_patch
@@ -458,7 +495,32 @@ class CostModel:
                 column_stats = {}
             if isinstance(op, IndexScan):
                 rows *= self._index_selectivity(op, column_stats)
+            partition = getattr(op, "partition", None)
+            if partition is not None:
+                # One contiguous 1/total slice of the heap pages.
+                rows /= float(partition[1])
             return PlanEstimate(rows=rows, local_rows=rows, column_stats=column_stats)
+        if isinstance(op, Exchange):
+            # The partitions cover disjoint page runs of one table, so
+            # their estimates *sum* back to the sequential plan's.  The
+            # model prices total work, not wall-clock overlap — a
+            # deliberately conservative view that keeps Exchange-lowered
+            # plans comparable to (never cheaper than) their inputs.
+            parts = [self._walk(child) for child in op.children]
+            merged = PlanEstimate()
+            for part in parts:
+                merged.rows += part.rows
+                merged.local_rows += part.local_rows
+                merged.calls = (
+                    merged.merged_calls(part) if merged.calls else dict(part.calls)
+                )
+                merged.waves += part.waves
+                merged.patched_values += part.patched_values
+                merged.issued += part.issued
+                merged.wave_seconds += part.wave_seconds
+            if parts:
+                merged.column_stats = dict(parts[0].column_stats)
+            return merged
         if isinstance(op, RowsScan):
             rows = float(len(op.rows_data))
             return PlanEstimate(rows=rows, local_rows=rows)
@@ -624,9 +686,10 @@ class CostModel:
             wave_seconds = left.wave_seconds
             if isinstance(scan, EVScan):
                 # Sequential: every (non-cached) call is its own
-                # blocking wave, priced at its destination's latency.
+                # blocking wave — a scatter wave under sharding —
+                # priced at its slowest shard's latency.
                 waves += network_calls
-                wave_seconds += network_calls * self.destination_latency(destination)
+                wave_seconds += network_calls * self.scatter_latency(destination)
             return PlanEstimate(
                 rows=rows,
                 local_rows=left.local_rows + rows,
@@ -662,7 +725,7 @@ class CostModel:
             width = math.ceil(count / limit) if limit else 1.0
             wave = max(wave, width)
             wave_latency = max(
-                wave_latency, width * self.destination_latency(destination)
+                wave_latency, width * self.scatter_latency(destination)
             )
         total = sum(child.calls.values())
         if self.global_limit and total:
@@ -675,7 +738,7 @@ class CostModel:
             wave = max(wave, 1.0)
             wave_latency = max(
                 wave_latency,
-                max(self.destination_latency(d) for d in child.calls),
+                max(self.scatter_latency(d) for d in child.calls),
             )
         # Each buffered tuple's placeholder values get patched once.
         return PlanEstimate(

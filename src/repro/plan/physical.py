@@ -59,11 +59,22 @@ class ExecOptions:
         (duck-typed; ``None`` = unbounded).  Stamped on every ReqSync
         and synchronous EVScan so both the blocking wait loop and the
         sequential call path observe expiry/cancellation.
+    ``shards``
+        Search-tier shard count the engine resolved (carried for
+        introspection and cost pricing; the web clients — not lowering —
+        implement the scatter).  ``1`` = the unsharded monolith.
+    ``parallelism``
+        Intra-query worker count.  At ``> 1`` lowering fans eligible
+        local scan chains out over an
+        :class:`~repro.exec.exchange.Exchange` (order-preserving
+        :class:`~repro.exec.exchange.MergeExchange` under a Sort); at
+        ``1`` the produced plan is byte-identical to the sequential
+        lowering.
     """
 
     __slots__ = (
         "on_error", "batch_size", "batch_layout", "wait_timeout", "stream",
-        "cache_tier", "cache_ttl", "deadline",
+        "cache_tier", "cache_ttl", "deadline", "shards", "parallelism",
     )
 
     def __init__(
@@ -76,6 +87,8 @@ class ExecOptions:
         cache_tier=None,
         cache_ttl=None,
         deadline=None,
+        shards=1,
+        parallelism=1,
     ):
         if on_error not in ("raise", "drop", "null"):
             raise PlanError(
@@ -92,6 +105,12 @@ class ExecOptions:
                         batch_layout, "/".join(BATCH_LAYOUTS)
                     )
                 )
+        if shards is not None and shards < 1:
+            raise PlanError("shards must be >= 1, got {!r}".format(shards))
+        if parallelism is not None and parallelism < 1:
+            raise PlanError(
+                "parallelism must be >= 1, got {!r}".format(parallelism)
+            )
         self.on_error = on_error
         self.batch_size = batch_size
         self.batch_layout = batch_layout
@@ -100,6 +119,8 @@ class ExecOptions:
         self.cache_tier = cache_tier
         self.cache_ttl = cache_ttl
         self.deadline = deadline
+        self.shards = shards if shards is not None else 1
+        self.parallelism = parallelism if parallelism is not None else 1
 
     @classmethod
     def from_knobs(
@@ -111,17 +132,20 @@ class ExecOptions:
         batch_layout=None,
         cache=None,
         deadline=None,
+        shards=None,
+        parallelism=None,
     ):
         """Resolve the historical knob triplet into one struct.
 
         Precedence (most specific wins):
 
-        1. explicit ``on_error`` / ``batch_size`` / ``batch_layout``
-           arguments (engine-level overrides);
+        1. explicit ``on_error`` / ``batch_size`` / ``batch_layout`` /
+           ``shards`` / ``parallelism`` arguments (engine-level
+           overrides);
         2. ``RewriteSettings`` values, when set (non-``None``);
         3. ``PlannerOptions`` values, when set;
         4. the defaults (``"raise"`` / operator-default batch size and
-           layout).
+           layout / ``shards=1`` / ``parallelism=1``).
 
         This fixes the historical drift where
         ``RewriteSettings(on_error=None)`` silently meant "operator
@@ -131,12 +155,16 @@ class ExecOptions:
         resolved_on_error = None
         resolved_batch = None
         resolved_layout = None
+        resolved_shards = None
+        resolved_parallelism = None
         wait_timeout = None
         stream = False
         if planner_options is not None:
             resolved_on_error = getattr(planner_options, "on_error", None)
             resolved_batch = getattr(planner_options, "batch_size", None)
             resolved_layout = getattr(planner_options, "batch_layout", None)
+            resolved_shards = getattr(planner_options, "shards", None)
+            resolved_parallelism = getattr(planner_options, "parallelism", None)
         if rewrite_settings is not None:
             if getattr(rewrite_settings, "on_error", None) is not None:
                 resolved_on_error = rewrite_settings.on_error
@@ -144,6 +172,10 @@ class ExecOptions:
                 resolved_batch = rewrite_settings.batch_size
             if getattr(rewrite_settings, "batch_layout", None) is not None:
                 resolved_layout = rewrite_settings.batch_layout
+            if getattr(rewrite_settings, "shards", None) is not None:
+                resolved_shards = rewrite_settings.shards
+            if getattr(rewrite_settings, "parallelism", None) is not None:
+                resolved_parallelism = rewrite_settings.parallelism
             wait_timeout = getattr(rewrite_settings, "wait_timeout", None)
             stream = bool(getattr(rewrite_settings, "stream", False))
         if on_error is not None:
@@ -152,6 +184,10 @@ class ExecOptions:
             resolved_batch = batch_size
         if batch_layout is not None:
             resolved_layout = batch_layout
+        if shards is not None:
+            resolved_shards = shards
+        if parallelism is not None:
+            resolved_parallelism = parallelism
         cache_tier = None
         cache_ttl = None
         if cache is not None:
@@ -168,16 +204,20 @@ class ExecOptions:
             cache_tier=cache_tier if cache is not None else "off",
             cache_ttl=cache_ttl,
             deadline=deadline,
+            shards=resolved_shards if resolved_shards is not None else 1,
+            parallelism=(
+                resolved_parallelism if resolved_parallelism is not None else 1
+            ),
         )
 
     def __repr__(self):
         return (
             "ExecOptions(on_error={!r}, batch_size={!r}, batch_layout={!r}, "
             "wait_timeout={!r}, stream={!r}, cache_tier={!r}, cache_ttl={!r}, "
-            "deadline={!r})".format(
+            "deadline={!r}, shards={!r}, parallelism={!r})".format(
                 self.on_error, self.batch_size, self.batch_layout,
                 self.wait_timeout, self.stream, self.cache_tier,
-                self.cache_ttl, self.deadline,
+                self.cache_ttl, self.deadline, self.shards, self.parallelism,
             )
         )
 
@@ -218,6 +258,11 @@ def _lower(node, options, context):
     from repro.exec.sort import Sort
     from repro.exec.union import UnionAll
 
+    if options.parallelism > 1:
+        fanned = _try_parallel_lower(node, options, context)
+        if fanned is not None:
+            return fanned
+
     if isinstance(node, L.LogicalScan):
         if node.index is not None:
             return IndexScan(
@@ -256,21 +301,24 @@ def _lower(node, options, context):
     if isinstance(node, L.LogicalLimit):
         return Limit(_lower(node.child, options, context), node.count)
     if isinstance(node, L.LogicalJoin):
+        # Join right sides are re-opened once per outer row; fanning a
+        # worker pool out per open would churn threads without covering
+        # any new data, so the right subtree lowers sequentially.
         return NestedLoopJoin(
             _lower(node.left, options, context),
-            _lower(node.right, options, context),
+            _lower(node.right, _sequential(options), context),
             node.predicate,
         )
     if isinstance(node, L.LogicalDependentJoin):
         return DependentJoin(
             _lower(node.left, options, context),
-            _lower(node.right, options, context),
+            _lower(node.right, _sequential(options), context),
             node.binding_columns,
         )
     if isinstance(node, L.LogicalCrossProduct):
         return CrossProduct(
             _lower(node.left, options, context),
-            _lower(node.right, options, context),
+            _lower(node.right, _sequential(options), context),
         )
     if isinstance(node, L.LogicalUnion):
         return UnionAll(
@@ -278,6 +326,105 @@ def _lower(node, options, context):
             _lower(node.right, options, context),
         )
     raise PlanError("cannot lower logical node {!r}".format(node))
+
+
+def _sequential(options):
+    """*options* with parallelism pinned to 1 (for re-opened subtrees)."""
+    if options.parallelism == 1:
+        return options
+    return ExecOptions(
+        on_error=options.on_error,
+        batch_size=options.batch_size,
+        batch_layout=options.batch_layout,
+        wait_timeout=options.wait_timeout,
+        stream=options.stream,
+        cache_tier=options.cache_tier,
+        cache_ttl=options.cache_ttl,
+        deadline=options.deadline,
+        shards=options.shards,
+        parallelism=1,
+    )
+
+
+def _parallel_eligible(node):
+    """True when *node* is a Filter/Project chain over a plain heap scan.
+
+    Only full-table scans partition (index scans already prune pages and
+    read in key order, which page partitioning would scramble), and only
+    over tables exposing the batch scan API — duck-typed table stand-ins
+    without ``scan_batches`` keep the historical sequential lowering.
+    """
+    if isinstance(node, L.LogicalScan):
+        return node.index is None and callable(
+            getattr(node.table, "scan_batches", None)
+        )
+    if isinstance(node, (L.LogicalFilter, L.LogicalProject)):
+        return _parallel_eligible(node.child)
+    return False
+
+
+def _lower_chain_partition(node, options, context, partition):
+    """Lower one per-partition replica of an eligible chain.
+
+    Filter/Project carry no cross-row state, so replicating them per
+    partition over a partitioned leaf scan computes exactly the rows the
+    sequential chain would — Exchange's partition-major gather then
+    restores the sequential order.
+    """
+    from repro.exec.filter import Filter
+    from repro.exec.project import Project
+    from repro.exec.scans import TableScan
+
+    if isinstance(node, L.LogicalScan):
+        return TableScan(node.table, node.alias, partition=partition)
+    if isinstance(node, L.LogicalFilter):
+        return Filter(
+            _lower_chain_partition(node.child, options, context, partition),
+            node.predicate,
+        )
+    if isinstance(node, L.LogicalProject):
+        return Project(
+            _lower_chain_partition(node.child, options, context, partition),
+            node.expressions,
+            node.schema,
+        )
+    raise PlanError(
+        "node {!r} is not part of a partitionable chain".format(node)
+    )
+
+
+def _try_parallel_lower(node, options, context):
+    """Fan an eligible subtree across ``options.parallelism`` partitions.
+
+    Returns the Exchange-rooted operator tree, or ``None`` when *node*
+    is not an eligible shape (the caller then lowers it normally and
+    recurses — inner eligible subtrees still get fanned out).
+    """
+    from repro.exec.exchange import Exchange, MergeExchange
+    from repro.exec.sort import Sort
+
+    workers = options.parallelism
+    if isinstance(node, L.LogicalSort) and _parallel_eligible(node.child):
+        # Per-partition sorts + order-preserving merge: partitions are
+        # contiguous page runs and Sort is stable, so merging with a
+        # partition-index tie-break reproduces the global stable sort.
+        partitions = [
+            Sort(
+                _lower_chain_partition(
+                    node.child, options, context, (index, workers)
+                ),
+                node.keys,
+            )
+            for index in range(workers)
+        ]
+        return MergeExchange(partitions, node.keys)
+    if _parallel_eligible(node):
+        partitions = [
+            _lower_chain_partition(node, options, context, (index, workers))
+            for index in range(workers)
+        ]
+        return Exchange(partitions)
+    return None
 
 
 def _lower_vtable_scan(node, options, context):

@@ -49,6 +49,8 @@ class PlannerOptions:
         on_error="raise",
         batch_size=None,
         batch_layout=None,
+        shards=None,
+        parallelism=None,
         logical_rules=None,
     ):
         #: Reorder FROM items so virtual tables follow their providers
@@ -78,6 +80,16 @@ class PlannerOptions:
         #: default, i.e. columnar or the ``REPRO_BATCH_LAYOUT``
         #: environment override).  Semantically invisible.
         self.batch_layout = batch_layout
+        #: Search-tier shard count (``None`` = defer to the engine /
+        #: ``REPRO_SHARDS``; ``1`` = the unsharded monolith).  Carried
+        #: for knob resolution — the web tier, not the planner, acts on
+        #: it — and priced by the cost model's scatter waves.
+        self.shards = shards
+        #: Intra-query worker parallelism (``None`` = defer to the
+        #: engine / ``REPRO_PARALLELISM``; ``1`` = sequential).  At
+        #: ``> 1`` lowering fans eligible local scan chains out over an
+        #: :class:`~repro.exec.exchange.Exchange`.
+        self.parallelism = parallelism
         #: Opt-in logical rule packs run by ``Planner.optimize`` — pack
         #: names (``"pushdown"``/``"prune"``/``"reorder"``), Rule
         #: classes, or Rule instances (see :data:`repro.plan.rules.PACKS`).

@@ -7,6 +7,7 @@ eviction.  Statistics (hits, misses, evictions) feed the storage benchmarks
 and let tests assert locality properties.
 """
 
+import threading
 from collections import OrderedDict
 
 from repro.util.errors import BufferPoolError
@@ -65,6 +66,11 @@ class BufferPool:
         self.capacity = capacity
         self.no_steal = no_steal
         self._frames = OrderedDict()  # page_id -> Frame, LRU order
+        # Frame-table lock: partitioned scans under an Exchange pin pages
+        # from several worker threads at once.  Guards the map, the LRU
+        # order, pin counts, and eviction — page *bytes* need no lock
+        # (readers share immutably-sized buffers; writers hold pins).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -74,40 +80,47 @@ class BufferPool:
 
     def pin(self, page_id):
         """Pin *page_id* into memory and return a :class:`PageGuard`."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.hits += 1
-            self._frames.move_to_end(page_id)
-        else:
-            self.misses += 1
-            self._make_room()
-            frame = Frame(page_id, self.disk.read_page(page_id))
-            self._frames[page_id] = frame
-        frame.pin_count += 1
-        return PageGuard(self, frame)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.hits += 1
+                self._frames.move_to_end(page_id)
+            else:
+                self.misses += 1
+                self._make_room()
+                frame = Frame(page_id, self.disk.read_page(page_id))
+                self._frames[page_id] = frame
+            frame.pin_count += 1
+            return PageGuard(self, frame)
 
     def unpin(self, page_id):
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pin_count == 0:
-            raise BufferPoolError("unpin of page {} that is not pinned".format(page_id))
-        frame.pin_count -= 1
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count == 0:
+                raise BufferPoolError(
+                    "unpin of page {} that is not pinned".format(page_id)
+                )
+            frame.pin_count -= 1
 
     def new_page(self):
         """Allocate a fresh page on disk and return a pinned guard for it."""
-        page_id = self.disk.allocate_page()
-        self._make_room()
-        frame = Frame(page_id, self.disk.read_page(page_id))
-        frame.pin_count = 1
-        self._frames[page_id] = frame
-        return PageGuard(self, frame)
+        with self._lock:
+            page_id = self.disk.allocate_page()
+            self._make_room()
+            frame = Frame(page_id, self.disk.read_page(page_id))
+            frame.pin_count = 1
+            self._frames[page_id] = frame
+            return PageGuard(self, frame)
 
     def flush_all(self):
         """Write back every dirty frame (pages stay resident)."""
-        for frame in self._frames.values():
-            self._write_back(frame)
+        with self._lock:
+            for frame in self._frames.values():
+                self._write_back(frame)
 
     def resident_pages(self):
-        return set(self._frames)
+        with self._lock:
+            return set(self._frames)
 
     def stats(self):
         return {

@@ -44,22 +44,28 @@ class Table:
     def insert_many(self, rows):
         return [self.insert(row) for row in rows]
 
-    def scan(self):
-        """Yield decoded rows (tuples) in storage order."""
-        for _, record in self.heap.scan():
+    def scan(self, partition=None):
+        """Yield decoded rows (tuples) in storage order.
+
+        *partition* (``(index, total)`` or ``None``) restricts the scan
+        to one contiguous run of heap pages; the partitions concatenate
+        — in index order — to exactly the full scan.
+        """
+        for _, record in self.heap.scan(partition=partition):
             yield decode_record(record, self.schema)
 
-    def scan_batches(self):
+    def scan_batches(self, partition=None):
         """Yield lists of decoded rows, one list per non-empty heap page.
 
         Storage order is identical to :meth:`scan`; only the grouping
-        differs.  This feeds ``TableScan.next_batch()``.
+        differs.  This feeds ``TableScan.next_batch()``.  *partition*
+        restricts to one contiguous page run, as for :meth:`scan`.
         """
         schema = self.schema
-        for chunk in self.heap.scan_batches():
+        for chunk in self.heap.scan_batches(partition=partition):
             yield [decode_record(record, schema) for _, record in chunk]
 
-    def scan_column_batches(self):
+    def scan_column_batches(self, partition=None):
         """Yield schema-typed column vectors, one group per heap page.
 
         The columnar twin of :meth:`scan_batches`: each yielded value is
@@ -71,7 +77,7 @@ class Table:
         """
         schema = self.schema
         types = [column.type for column in schema]
-        for chunk in self.heap.scan_batches():
+        for chunk in self.heap.scan_batches(partition=partition):
             rows = [decode_record(record, schema) for _, record in chunk]
             if not rows:
                 continue

@@ -22,8 +22,11 @@ from repro.vtables.evscan import EVScan
 from repro.vtables.webcount import WebCountDef
 from repro.vtables.webfetch import WebFetchDef, WebLinksDef
 from repro.vtables.webpages import WebPagesDef
+from repro.exec.exchange import default_parallelism
 from repro.web.cache import cache_from_env
 from repro.web.client import SearchClient
+from repro.web.shardclient import ShardedSearchClient
+from repro.web.sharding import default_shards, sharded_view
 from repro.web.world import default_web
 from repro.wsq.result import QueryResult
 
@@ -88,6 +91,8 @@ class WsqEngine:
         batch_layout=None,
         single_flight=None,
         calibration=None,
+        shards=None,
+        parallelism=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
@@ -144,16 +149,6 @@ class WsqEngine:
                 attach(metrics=obs.metrics, tracer=obs.tracer)
         self.dedup_calls = dedup_calls
         self.cost_model = cost_model
-        # Calibration: a CalibrationProfile (or a path to a persisted
-        # one) re-prices the cost model from *measured* figures at
-        # construction; ``recalibrate()`` does the same from live
-        # observability at any later point.
-        if calibration is not None:
-            from repro.obs.calibration import CalibrationProfile
-
-            if isinstance(calibration, str):
-                calibration = CalibrationProfile.load(calibration)
-            self._ensure_cost_model().apply_profile(calibration)
         self.planner_options = planner_options or PlannerOptions()
         self.rewrite_settings = rewrite_settings or RewriteSettings()
         if on_error is not None:
@@ -185,15 +180,43 @@ class WsqEngine:
         )
         if self.rewrite_settings.batch_layout is None:
             self.rewrite_settings.batch_layout = self.batch_layout
+        #: Search-tier shard count.  ``1`` (the default) keeps the plain
+        #: unsharded :class:`SearchClient` — plans, traces, and results
+        #: are byte-identical to the pre-sharding engine.  ``> 1`` puts a
+        #: :class:`~repro.web.shardclient.ShardedSearchClient` broker in
+        #: front of each engine (also reachable process-wide via
+        #: ``REPRO_SHARDS``).
+        if shards is None:
+            shards = self.rewrite_settings.shards
+        if shards is None:
+            shards = self.planner_options.shards
+        self.shards = shards if shards is not None else default_shards()
+        if self.rewrite_settings.shards is None:
+            self.rewrite_settings.shards = self.shards
+        #: Intra-query Exchange parallelism for local scan pipelines
+        #: (``REPRO_PARALLELISM``); ``1`` lowers byte-identical plans.
+        if parallelism is None:
+            parallelism = self.rewrite_settings.parallelism
+        if parallelism is None:
+            parallelism = self.planner_options.parallelism
+        self.parallelism = (
+            parallelism if parallelism is not None else default_parallelism()
+        )
+        if self.rewrite_settings.parallelism is None:
+            self.rewrite_settings.parallelism = self.parallelism
+        # Calibration: a CalibrationProfile (or a path to a persisted
+        # one) re-prices the cost model from *measured* figures at
+        # construction; ``recalibrate()`` does the same from live
+        # observability at any later point.  (After knob resolution, so
+        # the default model prices the resolved shard count.)
+        if calibration is not None:
+            from repro.obs.calibration import CalibrationProfile
+
+            if isinstance(calibration, str):
+                calibration = CalibrationProfile.load(calibration)
+            self._ensure_cost_model().apply_profile(calibration)
         self.clients = {
-            name: SearchClient(
-                self.web.engine(name),
-                latency=latency,
-                cache=cache,
-                faults=faults,
-                resilience=resilience,
-                obs=obs,
-            )
+            name: self._build_client(name)
             for name in self.web.engine_names()
         }
         self.fetch_service = self.web.fetch_service(latency=latency, cache=cache)
@@ -202,6 +225,27 @@ class WsqEngine:
             self.database, self.vtables, options=self.planner_options
         )
         self._fallback_query_ids = 0
+
+    def _build_client(self, engine_name):
+        """The web client for one engine: sharded broker or monolith."""
+        engine = self.web.engine(engine_name)
+        if self.shards > 1:
+            return ShardedSearchClient(
+                sharded_view(engine, self.shards),
+                latency=self.latency,
+                cache=self.cache,
+                faults=self.faults,
+                resilience=self.resilience,
+                obs=self.obs,
+            )
+        return SearchClient(
+            engine,
+            latency=self.latency,
+            cache=self.cache,
+            faults=self.faults,
+            resilience=self.resilience,
+            obs=self.obs,
+        )
 
     def _build_catalog(self):
         catalog = {}
@@ -277,6 +321,8 @@ class WsqEngine:
             batch_layout=self.batch_layout,
             cache=self.cache,
             deadline=deadline,
+            shards=self.shards,
+            parallelism=self.parallelism,
         )
 
     def _pipeline(self, query, mode, tracer, query_id=None, deadline=None):
@@ -407,7 +453,9 @@ class WsqEngine:
                 from repro.plan.cost import CostModel
 
                 model = CostModel(
-                    latency_mean=self._latency_mean(), cache=self.cache
+                    latency_mean=self._latency_mean(),
+                    cache=self.cache,
+                    shards=self.shards,
                 )
             text = model.annotated_explain(plan)
             if model.calibrated:
@@ -450,7 +498,9 @@ class WsqEngine:
             from repro.plan.cost import CostModel
 
             self.cost_model = CostModel(
-                latency_mean=self._latency_mean(), cache=self.cache
+                latency_mean=self._latency_mean(),
+                cache=self.cache,
+                shards=self.shards,
             )
         return self.cost_model
 
@@ -742,6 +792,10 @@ class WsqEngine:
         ``"breakers"`` adds the per-destination circuit-breaker states
         (closed/open/half-open plus transition timestamps) so operators
         can tell *why* a destination is failing fast, not just how often.
+        ``"destinations"`` (present only when the search tier is
+        sharded) adds each engine's per-shard scatter/gather view —
+        requests, failures, degraded gathers, hedge tallies, and the
+        per-shard breaker state.
         ``"trace"`` (present only when tracing is on) reports the ring
         buffer's fill and — crucially for calibration — how many events
         it has **dropped** since the last clear: a non-zero count means
@@ -749,6 +803,13 @@ class WsqEngine:
         """
         payload = self.pump.metrics.snapshot()
         payload["breakers"] = self.pump.breakers()
+        destinations = {
+            name: client.shard_stats()
+            for name, client in self.clients.items()
+            if hasattr(client, "shard_stats")
+        }
+        if destinations:
+            payload["destinations"] = destinations
         tracer = self.tracer
         if tracer is not None:
             payload["trace"] = {

@@ -14,7 +14,9 @@ leaderboard = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(leaderboard)
 
 
-def write_artifacts(results_dir, families=("batch", "cache", "overlap", "serve")):
+def write_artifacts(
+    results_dir, families=("batch", "cache", "overlap", "serve", "shard")
+):
     os.makedirs(str(results_dir), exist_ok=True)
 
     def dump(name, payload):
@@ -57,6 +59,14 @@ def write_artifacts(results_dir, families=("batch", "cache", "overlap", "serve")
                          "failed": 10},
             "shed_latency_seconds": {"p99": 0.05},
         })
+    if "shard" in families:
+        dump("BENCH_shard.json", {
+            "scatter": {"sync_seconds": 1.2, "async_seconds": 0.4,
+                        "speedup": 3.0, "floor": 2.0},
+            "outage": {"down_destination": "AV:shard2",
+                       "degraded_gathers": 48, "counts_exact": True},
+            "hedging": {"issued": 100, "won": 25, "lost": 75},
+        })
 
 
 class TestBuild:
@@ -66,6 +76,7 @@ class TestBuild:
         assert leaderboard.validate_leaderboard(payload) == []
         assert set(payload["benchmarks"]) == {
             "batch_sweep", "cache_sweep", "trace_overlap", "serve_load",
+            "shard_load",
         }
         assert "missing" not in payload
         batch = payload["benchmarks"]["batch_sweep"]
@@ -83,13 +94,20 @@ class TestBuild:
         assert payload["benchmarks"]["serve_load"]["completed_fraction"][
             "value"
         ] == pytest.approx(0.6)
+        shard = payload["benchmarks"]["shard_load"]
+        assert shard["scatter_speedup"]["gate"]
+        assert shard["outage_counts_exact"] == {
+            "value": 1.0, "direction": "higher", "gate": True,
+            "tolerance": 0.0,
+        }
+        assert shard["hedge_win_fraction"]["value"] == pytest.approx(0.25)
 
     def test_missing_artifacts_are_explicit(self, tmp_path):
         write_artifacts(tmp_path, families=("batch",))
         payload = leaderboard.build(str(tmp_path))
         assert set(payload["benchmarks"]) == {"batch_sweep"}
         assert sorted(payload["missing"]) == [
-            "cache_sweep", "serve_load", "trace_overlap",
+            "cache_sweep", "serve_load", "shard_load", "trace_overlap",
         ]
 
     def test_validator_rejects_malformed(self, tmp_path):
