@@ -3,8 +3,8 @@
 The benchmark suite leaves one JSON artifact per family under
 ``benchmarks/results/`` (``BENCH_batch_sweep.json``,
 ``BENCH_cache_sweep.json``, ``BENCH_trace_overlap.json``,
-``BENCH_serve.json``, ``BENCH_shard.json``).  This script folds them
-into a single
+``BENCH_serve.json``, ``BENCH_shard.json``, ``BENCH_rewrite.json``).
+This script folds them into a single
 leaderboard keyed ``benchmark x metric`` and compares it against the
 committed baseline at the repo root (``BENCH_leaderboard.json``).
 
@@ -192,12 +192,43 @@ def _extract_shard(report):
     return metrics
 
 
+def _extract_rewrite_pairs(report):
+    metrics = {}
+    if "min_speedup" in report:
+        # The no-harm floor across the whole pair corpus: a pack that
+        # fires must never lose to the plan it replaced.  The wide band
+        # absorbs jitter around the weakest (~1.1x) pair while still
+        # catching a rewrite that started losing outright.
+        metrics["min_speedup"] = _metric(
+            report["min_speedup"], "higher", tolerance=0.5
+        )
+    pairs = report.get("pairs") or {}
+    for pair, key in (
+        ("or_to_union_disjoint_windows", "or_to_union_speedup"),
+        ("early_filter_derived_window", "early_filter_speedup"),
+    ):
+        cell = pairs.get(pair)
+        if cell:
+            # Headline wins: index windows vs full scans and a derived
+            # join constraint vs a nested-loop sweep — ratios, so stable
+            # across machines; the band still catches a pack whose gate
+            # or rewrite quietly stopped firing (~1x).
+            metrics[key] = _metric(cell["speedup"], "higher", tolerance=0.5)
+    if pairs:
+        metrics["optimized_seconds_total"] = _metric(
+            round(sum(c["optimized_seconds"] for c in pairs.values()), 6),
+            "lower",
+        )
+    return metrics
+
+
 EXTRACTORS = [
     ("batch_sweep", "BENCH_batch_sweep.json", _extract_batch_sweep),
     ("cache_sweep", "BENCH_cache_sweep.json", _extract_cache_sweep),
     ("trace_overlap", "BENCH_trace_overlap.json", _extract_trace_overlap),
     ("serve_load", "BENCH_serve.json", _extract_serve),
     ("shard_load", "BENCH_shard.json", _extract_shard),
+    ("rewrite_pairs", "BENCH_rewrite.json", _extract_rewrite_pairs),
 ]
 
 

@@ -62,6 +62,7 @@ class RewriteSettings:
         batch_layout=None,
         shards=None,
         parallelism=None,
+        rules=None,
     ):
         self.stream = stream
         self.pull_above_order_sensitive = pull_above_order_sensitive
@@ -86,6 +87,11 @@ class RewriteSettings:
         #: Intra-query Exchange parallelism (``None`` = defer to the
         #: engine / ``REPRO_PARALLELISM`` resolution; ``1`` = off).
         self.parallelism = parallelism
+        #: Opt-in logical rule packs (``None`` = defer to the engine /
+        #: ``$REPRO_RULES`` resolution; ``()`` = explicitly none).  Pack
+        #: names / Rule classes / Rule instances, as accepted by
+        #: :func:`repro.plan.rules.resolve_packs`.
+        self.rules = rules
 
     def exec_options(self):
         """The consolidated execution knobs these settings imply."""

@@ -81,6 +81,7 @@ def build_engine(args):
         calibration=getattr(args, "calibration", None),
         shards=getattr(args, "shards", None),
         parallelism=getattr(args, "parallelism", None),
+        rules=getattr(args, "rules", None),
     )
 
 
@@ -211,6 +212,14 @@ def main(argv=None):
         help="intra-query worker count: N > 1 fans eligible local scan "
         "pipelines over an Exchange operator "
         "(default 1 or $REPRO_PARALLELISM; 1 = sequential plans)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="PACKS",
+        help="opt-in logical rewrite packs, comma-separated: pushdown, "
+        "prune, reorder, decorrelate, or_to_union, early_filter, "
+        "agg_single_pass, or 'all' (default none or $REPRO_RULES)",
     )
     parser.add_argument(
         "-c", "--command", help="run one statement and exit", default=None

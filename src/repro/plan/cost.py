@@ -207,6 +207,7 @@ class CostModel:
         cache=None,
         expected_hit_ratio=None,
         shards=None,
+        hash_joins=False,
     ):
         self.latency_mean = latency_mean
         self.per_destination_limits = dict(per_destination_limits or {})
@@ -233,6 +234,11 @@ class CostModel:
         #: and each blocking wave at the *slowest* shard's latency (see
         #: :meth:`scatter_latency`).
         self.shards = int(shards) if shards and shards >= 1 else 1
+        #: Price clean equi-joins as hash build + probe instead of the
+        #: quadratic pair scan.  Off by default (keeps every historical
+        #: estimate bit-identical); the rewrite packs' cost gates turn it
+        #: on, since lowering upgrades exactly these joins at runtime.
+        self.hash_joins = bool(hash_joins)
         #: Calibration state: a :class:`repro.obs.calibration.
         #: CalibrationProfile` attached via :meth:`apply_profile` (duck
         #: typed — anything with the same read surface works).  Empty
@@ -311,6 +317,7 @@ class CostModel:
             cache=self.cache,
             expected_hit_ratio=self.expected_hit_ratio,
             shards=self.shards,
+            hash_joins=self.hash_joins,
         )
         twin.profile = self.profile
         twin.latency_by_destination = dict(self.latency_by_destination)
@@ -530,9 +537,10 @@ class CostModel:
         if isinstance(op, Filter):
             child = self._walk(op.child)
             selectivity = predicate_selectivity(op.predicate, child.column_stats)
+            probe = self._subquery_probe_rows(op.predicate, child.rows)
             return PlanEstimate(
                 rows=child.rows * selectivity,
-                local_rows=child.local_rows + child.rows,
+                local_rows=child.local_rows + child.rows + probe,
                 calls=child.calls,
                 waves=child.waves,
                 patched_values=child.patched_values,
@@ -649,9 +657,21 @@ class CostModel:
             combined_stats = _concat_stats(left, right, len(op.left.schema))
             pairs = left.rows * right.rows
             rows = pairs * predicate_selectivity(op.predicate, combined_stats)
+            if self.hash_joins and op._equijoin_split() is not None:
+                # Hash upgrade: one build pass + one probe pass, no
+                # quadratic pair scan (mirrors NestedLoopJoin.open).
+                local = (
+                    left.local_rows
+                    + right.local_rows
+                    + left.rows
+                    + right.rows
+                    + rows
+                )
+            else:
+                local = left.local_rows + left.rows * right.local_rows + pairs
             return PlanEstimate(
                 rows=rows,
-                local_rows=left.local_rows + left.rows * right.local_rows + pairs,
+                local_rows=local,
                 calls=left.merged_calls(right),
                 waves=left.waves + right.waves,
                 patched_values=left.patched_values + right.patched_values,
@@ -750,6 +770,33 @@ class CostModel:
             issued=child.issued + total,
             wave_seconds=child.wave_seconds + wave_latency,
         )
+
+    def _subquery_probe_rows(self, predicate, rows):
+        """Local work hidden inside subquery predicates (IN / EXISTS).
+
+        The executor materializes each subplan once, then ``IN`` probes
+        it linearly per input row (half the candidate list on average).
+        Plain predicates contribute zero, keeping historical Filter
+        estimates bit-identical; external work inside a subplan is not
+        separately priced (the decorrelation rewrite refuses non-local
+        subplans anyway).
+        """
+        from repro.relational.expr import ExistsPredicate, InSubqueryPredicate
+
+        total = 0.0
+        stack = [predicate]
+        while stack:
+            expr = stack.pop()
+            if isinstance(expr, InSubqueryPredicate):
+                inner = self._walk(expr.subplan)
+                total += inner.local_rows + rows * max(inner.rows, 1.0) * 0.5
+            elif isinstance(expr, ExistsPredicate):
+                total += self._walk(expr.subplan).local_rows
+            elif isinstance(expr, (Conjunction, Disjunction)):
+                stack.extend(expr.terms)
+            elif isinstance(expr, Negation):
+                stack.append(expr.term)
+        return total
 
     def _index_selectivity(self, op, column_stats):
         """Selectivity of an IndexScan's bounds (stats-aware)."""

@@ -147,20 +147,35 @@ class Planner:
         plan, residual = self._build_join_tree(query, relations, residual)
         return self._finish(query, plan, residual)
 
-    def optimize(self, node, tracer=None, metrics=None, query_id=None):
+    def optimize(self, node, tracer=None, metrics=None, query_id=None, cost_model=None):
         """Run the configured opt-in rule packs over *node*.
 
         Returns ``(optimized_node, firings)``.  With no
         ``logical_rules`` configured this is the identity — the default
         pipeline preserves the seed planner's exact plan shapes.
+
+        *cost_model* feeds the cost-gated packs (decorrelate /
+        or_to_union / early_filter / agg_single_pass); a calibrated
+        engine passes its own model so measured latencies and statistics
+        steer the gates.  ``None`` falls back to a static default model,
+        so standalone planners still gate structurally-sound rewrites on
+        estimated work.
         """
         from repro.plan.rules import RuleEngine, resolve_packs
 
         groups = resolve_packs(self.options.logical_rules)
         if not groups:
             return node, []
+        if cost_model is None:
+            from repro.plan.cost import CostModel
+
+            cost_model = CostModel(latency_mean=0.05)
         engine = RuleEngine(
-            groups, tracer=tracer, metrics=metrics, query_id=query_id
+            groups,
+            tracer=tracer,
+            metrics=metrics,
+            query_id=query_id,
+            cost_model=cost_model,
         )
         node = engine.run(node)
         return node, engine.firings

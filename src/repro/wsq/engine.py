@@ -11,6 +11,7 @@ from repro.obs.trace import BEGIN, END, QUERY_SPAN, Tracer
 from repro.plan import logical as logical_ir
 from repro.plan.physical import ExecOptions, lower
 from repro.plan.planner import Planner, PlannerOptions
+from repro.plan.rules import default_rules, parse_rules_spec
 from repro.relational.batch import default_batch_layout, default_batch_size
 from repro.relational.expr import kernel_stats
 from repro.sql import ast
@@ -93,6 +94,7 @@ class WsqEngine:
         calibration=None,
         shards=None,
         parallelism=None,
+        rules=None,
     ):
         self.database = database if database is not None else Database()
         self.web = web if web is not None else default_web()
@@ -204,6 +206,26 @@ class WsqEngine:
         )
         if self.rewrite_settings.parallelism is None:
             self.rewrite_settings.parallelism = self.parallelism
+        #: Opt-in logical rewrite packs (GOLD-style cost-gated rewrites;
+        #: see :data:`repro.plan.rules.PACKS`).  A comma-separated string
+        #: (``"or_to_union,early_filter"`` or ``"all"``), a sequence of
+        #: pack names / Rule classes / Rule instances, or ``None`` to
+        #: defer: ``rewrite_settings.rules``, then
+        #: ``planner_options.logical_rules``, then ``$REPRO_RULES``.
+        #: Empty (the default) keeps the seed pipeline's exact plan
+        #: shapes.
+        if isinstance(rules, str):
+            rules = parse_rules_spec(rules)
+        if rules is None:
+            rules = self.rewrite_settings.rules
+            if isinstance(rules, str):
+                rules = parse_rules_spec(rules)
+        if rules is None and self.planner_options.logical_rules:
+            rules = self.planner_options.logical_rules
+        self.rules = tuple(rules) if rules is not None else default_rules()
+        if self.rewrite_settings.rules is None:
+            self.rewrite_settings.rules = self.rules
+        self.planner_options.logical_rules = tuple(self.rules)
         # Calibration: a CalibrationProfile (or a path to a persisted
         # one) re-prices the cost model from *measured* figures at
         # construction; ``recalibrate()`` does the same from live
@@ -336,7 +358,11 @@ class WsqEngine:
         metrics = self.pump.metrics
         logical = self._planner.plan_logical(query)
         logical, firings = self._planner.optimize(
-            logical, tracer=tracer, metrics=metrics, query_id=query_id
+            logical,
+            tracer=tracer,
+            metrics=metrics,
+            query_id=query_id,
+            cost_model=self.cost_model,
         )
         mode = self._resolve_mode(logical, mode)
         context = None

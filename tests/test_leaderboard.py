@@ -15,7 +15,8 @@ _SPEC.loader.exec_module(leaderboard)
 
 
 def write_artifacts(
-    results_dir, families=("batch", "cache", "overlap", "serve", "shard")
+    results_dir,
+    families=("batch", "cache", "overlap", "serve", "shard", "rewrite"),
 ):
     os.makedirs(str(results_dir), exist_ok=True)
 
@@ -67,6 +68,31 @@ def write_artifacts(
                        "degraded_gathers": 48, "counts_exact": True},
             "hedging": {"issued": 100, "won": 25, "lost": 75},
         })
+    if "rewrite" in families:
+        dump("BENCH_rewrite.json", {
+            "workload": {"rows": 12000, "repeats": 3, "pairs": 2},
+            "pairs": {
+                "or_to_union_disjoint_windows": {
+                    "pack": "or_to_union",
+                    "rule": "or_to_union.split_disjunction",
+                    "base_seconds": 0.06, "optimized_seconds": 0.005,
+                    "speedup": 12.0, "rows": 180,
+                },
+                "early_filter_derived_window": {
+                    "pack": "early_filter",
+                    "rule": "early_filter.derive_join_filter",
+                    "base_seconds": 1.8, "optimized_seconds": 0.3,
+                    "speedup": 6.0, "rows": 8,
+                },
+            },
+            "min_speedup": 6.0,
+            "min_speedup_pair": "early_filter_derived_window",
+            "headline": {
+                "or_to_union_disjoint_windows": 12.0,
+                "early_filter_derived_window": 6.0,
+            },
+            "floors": {"pair_min": 1.0, "headline": 2.0},
+        })
 
 
 class TestBuild:
@@ -76,7 +102,7 @@ class TestBuild:
         assert leaderboard.validate_leaderboard(payload) == []
         assert set(payload["benchmarks"]) == {
             "batch_sweep", "cache_sweep", "trace_overlap", "serve_load",
-            "shard_load",
+            "shard_load", "rewrite_pairs",
         }
         assert "missing" not in payload
         batch = payload["benchmarks"]["batch_sweep"]
@@ -101,13 +127,19 @@ class TestBuild:
             "tolerance": 0.0,
         }
         assert shard["hedge_win_fraction"]["value"] == pytest.approx(0.25)
+        rewrite = payload["benchmarks"]["rewrite_pairs"]
+        assert rewrite["min_speedup"]["gate"]
+        assert rewrite["or_to_union_speedup"]["value"] == 12.0
+        assert rewrite["early_filter_speedup"]["value"] == 6.0
+        assert not rewrite["optimized_seconds_total"]["gate"]
 
     def test_missing_artifacts_are_explicit(self, tmp_path):
         write_artifacts(tmp_path, families=("batch",))
         payload = leaderboard.build(str(tmp_path))
         assert set(payload["benchmarks"]) == {"batch_sweep"}
         assert sorted(payload["missing"]) == [
-            "cache_sweep", "serve_load", "shard_load", "trace_overlap",
+            "cache_sweep", "rewrite_pairs", "serve_load", "shard_load",
+            "trace_overlap",
         ]
 
     def test_validator_rejects_malformed(self, tmp_path):
